@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark module computes its experiment series once (module-scoped
+fixtures), registers the rendered table here, and times one representative
+protocol execution with pytest-benchmark.  The registered tables are printed
+in the terminal summary (so they survive output capture) and saved as CSV
+under ``benchmarks/results/``.
+
+Scale: the suite runs at 600 nodes by default (same node density as the
+paper's 1500-node setting); set ``REPRO_SCALE=paper`` for full size.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.bench.reporting import ExperimentSeries, render_table, save_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: List[str] = []
+
+
+def register_series(series: ExperimentSeries, expectation: str) -> None:
+    """Record a finished experiment for summary printing + CSV output."""
+    save_csv(series, RESULTS_DIR)
+    _TABLES.append(render_table(series) + f"\n   paper expectation: {expectation}\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for table in _TABLES:
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

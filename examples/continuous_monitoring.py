@@ -1,0 +1,81 @@
+"""Continuous queries: SAMPLE PERIOD over a drifting environment (§III).
+
+A ``SAMPLE PERIOD x`` query re-executes every x seconds over the most recent
+snapshot.  This example lets the physical fields drift between rounds and
+reports, per round, the result size and the cost of each SENS-Join phase —
+showing how the Join-Attribute-Collection cost stays flat while the
+Filter-Dissemination and Final-Result phases track the result size.
+"""
+
+from repro.data.relations import SensorWorld
+from repro.joins.runner import run_continuous
+from repro.query.parser import parse_query
+from repro.sim.network import DeploymentConfig, deploy_uniform
+
+QUERY = """
+    SELECT A.hum, B.hum
+    FROM sensors A, sensors B
+    WHERE A.temp - B.temp > 22.8
+    SAMPLE PERIOD 300
+"""
+
+
+def main() -> None:
+    side = 470.0
+    config = DeploymentConfig(node_count=300, area_side_m=side, seed=9)
+    network = deploy_uniform(config)
+    world = SensorWorld.homogeneous(
+        network, seed=9, area_side_m=side, drift_rate=0.00005
+    )
+    query = parse_query(QUERY, catalog=world.catalog)
+
+    print("Continuous query:", " ".join(QUERY.split()))
+    print(f"executing {6} rounds, one per simulated {query.mode.seconds:.0f} s\n")
+
+    outcomes = run_continuous(network, world, query, executions=6, tree_seed=9)
+
+    print(f"{'round':>5} {'matches':>8} {'collect':>8} {'filter':>7} "
+          f"{'final':>6} {'total':>6}")
+    for index, outcome in enumerate(outcomes):
+        phases = outcome.per_phase_transmissions()
+        print(
+            f"{index:>5} {outcome.result.match_count:>8} "
+            f"{phases.get('join-attribute-collection', 0):>8} "
+            f"{phases.get('filter-dissemination', 0):>7} "
+            f"{phases.get('final-result', 0):>6} "
+            f"{outcome.total_transmissions:>6}"
+        )
+
+    collect = [o.per_phase_transmissions().get("join-attribute-collection", 0)
+               for o in outcomes]
+    print(
+        "\nNote: the collection phase cost is data-independent "
+        f"(constant {collect[0]} packets per round), while filter and final "
+        "phases follow the result size — the paper's Fig. 15 in time."
+    )
+
+    # ---- the paper's future work: exploit temporal correlation ----------
+    from repro.joins.incremental import IncrementalSensJoin
+
+    print("\nIncremental executor (delta collection + filter suppression):")
+    executor = IncrementalSensJoin(network, world, query, tree_seed=9)
+    print(f"{'round':>5} {'total':>6} {'collect':>8} {'filter':>7} "
+          f"{'unchanged':>10}")
+    for index in range(6):
+        outcome = executor.run_round(index * query.mode.seconds)
+        phases = outcome.per_phase_transmissions()
+        print(
+            f"{index:>5} {outcome.total_transmissions:>6} "
+            f"{phases.get('join-attribute-collection', 0):>8} "
+            f"{phases.get('filter-dissemination', 0):>7} "
+            f"{int(outcome.details['collection_unchanged_subtrees']):>10}"
+        )
+    print(
+        "\nAfter round 0 only *changed* quantized points travel and "
+        "unchanged filters are suppressed — the steady-state rounds cost a "
+        "fraction of a snapshot execution (Sec. VIII future work)."
+    )
+
+
+if __name__ == "__main__":
+    main()

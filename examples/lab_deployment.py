@@ -1,0 +1,74 @@
+"""Fig. 4 revisited: spatial correlation and why the quadtree works.
+
+The paper motivates its compact representation with temperature data from a
+real office deployment (the Intel Lab dataset, Fig. 4): nearby motes report
+similar values, so a set of quantized join-attribute tuples is highly
+redundant.  This example regenerates a synthetic 54-mote lab trace, shows
+the correlation, and measures how the quadtree exploits it — comparing the
+encoded size against raw tuples, zlib and bzip2 (the §VI-B experiment in
+miniature).
+"""
+
+import numpy as np
+
+from repro.codec.compression import compressed_size, encode_raw_tuples
+from repro.codec.quadtree import QuadtreeCodec
+from repro.codec.quantize import Quantizer
+from repro.data.labdata import generate_lab_deployment, generate_lab_trace
+from repro.data.sensors import SensorCatalog, SensorSpec
+
+
+def main() -> None:
+    motes = generate_lab_deployment(seed=1)
+    readings = [r for r in generate_lab_trace(motes, epochs=1, seed=1)]
+    positions = {m.mote_id: (m.x, m.y) for m in motes}
+
+    print(f"synthetic lab deployment: {len(motes)} motes on 40 m x 30 m")
+
+    # --- spatial correlation (the Fig. 4 effect) -------------------------
+    near, far = [], []
+    for a in readings:
+        for b in readings:
+            if a.mote_id >= b.mote_id:
+                continue
+            ax, ay = positions[a.mote_id]
+            bx, by = positions[b.mote_id]
+            distance = np.hypot(ax - bx, ay - by)
+            diff = abs(a.temperature - b.temperature)
+            (near if distance < 6.0 else far if distance > 25.0 else []).append(diff)
+    print(f"mean |temperature difference|: {np.mean(near):.2f} degC for motes "
+          f"<6 m apart vs {np.mean(far):.2f} degC for motes >25 m apart\n")
+
+    # --- compact representation on this data ------------------------------
+    catalog = SensorCatalog([
+        SensorSpec("temp", "degC", 5.0, 40.0, 0.1),
+        SensorSpec("x", "m", 0.0, 40.0, 1.0),
+        SensorSpec("y", "m", 0.0, 30.0, 1.0),
+    ])
+    quantizer = Quantizer.for_attributes(catalog, ["temp", "x", "y"])
+    codec = QuadtreeCodec.for_quantizer(quantizer, alias_count=2)
+
+    tuples = []
+    points = set()
+    for reading in readings:
+        x, y = positions[reading.mote_id]
+        values = {"temp": reading.temperature, "x": x, "y": y}
+        tuples.append(values)
+        points.add((0b11, quantizer.encode(values)))
+
+    raw = encode_raw_tuples(tuples, ["temp", "x", "y"])
+    encoded = codec.encode(points)
+    print("encoding one epoch's join-attribute tuples (temp, x, y):")
+    print(f"  raw (2 B/attribute) : {len(raw):4d} bytes")
+    print(f"  zlib                : {compressed_size(raw, 'zlib'):4d} bytes")
+    print(f"  bzip2               : {compressed_size(raw, 'bzip2'):4d} bytes")
+    print(f"  quadtree (Sec. V)   : {encoded.byte_length:4d} bytes "
+          f"({len(points)} distinct quantized points)")
+
+    roundtrip = codec.decode(encoded)
+    assert roundtrip == frozenset(points)
+    print("\nquadtree decodes losslessly back to the same point set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (legacy editable installs) on machines
+whose setuptools cannot build PEP 660 wheels.
+"""
+from setuptools import setup
+
+setup()

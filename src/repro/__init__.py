@@ -1,0 +1,75 @@
+"""SENS-Join: efficient general-purpose join processing in sensor networks.
+
+A from-scratch Python reproduction of
+
+    Mirco Stern, Erik Buchmann, Klemens Böhm:
+    "Towards Efficient Processing of General-Purpose Joins in Sensor
+    Networks", ICDE 2009.
+
+The package is layered bottom-up (see DESIGN.md):
+
+``repro.sim``
+    Discrete-event network simulator: kernel, nodes, radio/energy model,
+    deployments (replaces the paper's ns-2 testbed).
+``repro.routing``
+    Collection tree (CTP-style beaconing, repair) and query flooding.
+``repro.data``
+    Synthetic spatially-correlated sensor fields, sensor catalogue,
+    relation membership, Intel-Lab-style traces.
+``repro.query``
+    The TinyDB-flavoured SQL dialect: parser, expression AST with exact and
+    conservative (interval) evaluation, n-way join evaluation.
+``repro.codec``
+    The compact join-attribute representation of §V: quantizer, Z-order
+    curve, pointerless region quadtree, set operations, compression
+    baselines.
+``repro.joins``
+    The join algorithms: SENS-Join (Treecut, Selective Filter Forwarding)
+    and the external-join / semi-join / mediated-join baselines.
+``repro.bench``
+    The experiment harness regenerating every figure of §VI.
+
+Quick start::
+
+    from repro import SensorNetworkDB
+    db = SensorNetworkDB(node_count=300, seed=7)
+    report = db.execute(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 18 ONCE"
+    )
+    print(report.summary())
+"""
+
+from .api import QueryReport, SensorNetworkDB
+from .errors import (
+    BindingError,
+    CodecError,
+    EvaluationError,
+    ExecutionAborted,
+    NetworkError,
+    ParseError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindingError",
+    "CodecError",
+    "EvaluationError",
+    "ExecutionAborted",
+    "NetworkError",
+    "ParseError",
+    "ProtocolError",
+    "QueryError",
+    "QueryReport",
+    "ReproError",
+    "RoutingError",
+    "SensorNetworkDB",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands:
+
+``query``
+    Deploy a simulated network and run one query with a chosen algorithm::
+
+        python -m repro query "SELECT A.hum, B.hum FROM sensors A, sensors B \\
+            WHERE A.temp - B.temp > 14 ONCE" --nodes 300 --seed 42
+
+``explain``
+    Show how SENS-Join would process a query (attribute sets, quantizer,
+    plan) without executing anything.
+
+``compare``
+    Run the same query under SENS-Join and the external join and print the
+    head-to-head cost table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .api import SensorNetworkDB
+from .errors import ReproError
+
+
+def _add_deployment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=300, help="sensor node count")
+    parser.add_argument("--seed", type=int, default=0, help="deployment/data seed")
+    parser.add_argument(
+        "--packet-bytes", type=int, default=48, help="maximum packet size in bytes"
+    )
+
+
+def _build_db(args: argparse.Namespace) -> SensorNetworkDB:
+    return SensorNetworkDB(
+        node_count=args.nodes, seed=args.seed, max_packet_bytes=args.packet_bytes
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    report = db.execute(args.sql, algorithm=args.algorithm)
+    print(report.summary())
+    limit = args.limit
+    for row in report.rows[:limit]:
+        print("  ", {key: round(value, 3) for key, value in row.items()})
+    remaining = len(report.rows) - limit
+    if remaining > 0:
+        print(f"   ... {remaining} more row(s)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    print(db.explain(args.sql))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    sens = db.execute(args.sql, algorithm="sens-join")
+    external = db.execute(args.sql, algorithm="external-join")
+    match = sens.outcome.result.signature() == external.outcome.result.signature()
+    rows = [
+        ("algorithm", "transmissions", "max node tx", "response s", "rows"),
+        (
+            "sens-join",
+            str(sens.transmissions),
+            str(sens.outcome.max_node_transmissions()),
+            f"{sens.outcome.response_time_s:.2f}",
+            str(sens.outcome.result.row_count),
+        ),
+        (
+            "external-join",
+            str(external.transmissions),
+            str(external.outcome.max_node_transmissions()),
+            f"{external.outcome.response_time_s:.2f}",
+            str(external.outcome.result.row_count),
+        ),
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    saving = 1.0 - sens.transmissions / max(external.transmissions, 1)
+    print(f"\nresults identical: {match}; SENS-Join saving: {saving:.0%}")
+    return 0 if match else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and shell completion)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SENS-Join (ICDE 2009) reproduction: simulate join queries "
+        "over a wireless sensor network.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run one query and print rows + costs")
+    query.add_argument("sql", help="query text in the TinyDB dialect")
+    query.add_argument(
+        "--algorithm",
+        default="sens-join",
+        choices=["sens-join", "external-join"],
+        help="join method",
+    )
+    query.add_argument("--limit", type=int, default=10, help="rows to print")
+    _add_deployment_arguments(query)
+    query.set_defaults(handler=_cmd_query)
+
+    explain = commands.add_parser("explain", help="show the SENS-Join plan for a query")
+    explain.add_argument("sql", help="query text in the TinyDB dialect")
+    _add_deployment_arguments(explain)
+    explain.set_defaults(handler=_cmd_explain)
+
+    compare = commands.add_parser(
+        "compare", help="run SENS-Join and the external join head to head"
+    )
+    compare.add_argument("sql", help="query text in the TinyDB dialect")
+    _add_deployment_arguments(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

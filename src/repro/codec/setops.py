@@ -1,0 +1,85 @@
+"""Set operations on quadtree-encoded point sets (§V-D).
+
+The protocol needs three primitives on ``Join_Attr_Structure`` (Figs. 2, 3):
+``Insert``, ``Union`` and ``Intersect``.  "A strength of our quadtree
+representation is that Union and Intersect can be computed directly on it.
+There is no need to recover the original tuples."
+
+Like the paper's merge we work on the tree representation — never on raw
+sensor values — in a single linear pass: both operands are walked in their
+depth-first wire order, point sets are merged per quadrant, and the result
+is re-encoded (re-running the decomposition-threshold decision, since the
+optimal list-vs-subdivide split of a union generally differs from either
+operand's).  Relation flags combine bitwise on union ('10' ∪ '01' = '11',
+i.e. the point now belongs to both relations) and intersect bitwise on
+intersection; a point whose intersected flags are empty drops out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+from .bits import Bits
+from .quadtree import FlaggedPoint, QuadtreeCodec
+
+__all__ = [
+    "union_points",
+    "intersect_points",
+    "union_encoded",
+    "intersect_encoded",
+    "insert_point",
+]
+
+
+def union_points(
+    a: Iterable[FlaggedPoint], b: Iterable[FlaggedPoint]
+) -> FrozenSet[FlaggedPoint]:
+    """Union of flagged point sets; flags of shared Z-numbers OR together.
+
+    This is ``UnionJoin_Atts``: a Z-number present as relation A in one
+    operand and relation B in the other is present as 'both' afterwards.
+    """
+    merged: Dict[int, int] = {}
+    for flags, z in a:
+        merged[z] = merged.get(z, 0) | flags
+    for flags, z in b:
+        merged[z] = merged.get(z, 0) | flags
+    return frozenset((flags, z) for z, flags in merged.items())
+
+
+def intersect_points(
+    a: Iterable[FlaggedPoint], b: Iterable[FlaggedPoint]
+) -> FrozenSet[FlaggedPoint]:
+    """Intersection; flags AND together, flagless points disappear.
+
+    This is ``IntersectJoin_Atts`` as used by Selective Filter Forwarding
+    (Fig. 3 line 3): the subtree's points restricted to those that appear in
+    the join filter *in a role the subtree actually has*.
+    """
+    left: Dict[int, int] = {}
+    for flags, z in a:
+        left[z] = left.get(z, 0) | flags
+    result = {}
+    for flags, z in b:
+        if z in left:
+            combined = left[z] & flags
+            if combined:
+                result[z] = result.get(z, 0) | combined
+    return frozenset((flags, z) for z, flags in result.items())
+
+
+def insert_point(
+    points: Iterable[FlaggedPoint], point: FlaggedPoint
+) -> FrozenSet[FlaggedPoint]:
+    """``InsertJoin_Atts``: add one flagged point (flags merge on collision)."""
+    return union_points(points, [point])
+
+
+def union_encoded(codec: QuadtreeCodec, a: Bits, b: Bits) -> Bits:
+    """Union directly on wire-format operands; returns wire format."""
+    return codec.encode(union_points(codec.decode(a), codec.decode(b)))
+
+
+def intersect_encoded(codec: QuadtreeCodec, a: Bits, b: Bits) -> Bits:
+    """Intersection directly on wire-format operands; returns wire format."""
+    return codec.encode(intersect_points(codec.decode(a), codec.decode(b)))

@@ -1,0 +1,92 @@
+"""Z-order (Morton) encoding with unequal dimension widths.
+
+§V-B: "We compute the Z-number of a point by bit interleaving of the
+coordinates of each dimension. ... We compute the number of bits for each
+dimension separately as, in general, the dimensions are not of equal size.
+In this case, each dimension contributes to the bit interleaving until its
+bits are exhausted."
+
+Interleaving runs MSB-first in rounds: in round *l* every dimension that
+still has bits left (``bits[d] > l``) contributes its next-most-significant
+bit, in dimension order.  This aligns exactly with the region quadtree's
+level-wise subdivision: round *l* decides the quadrant at tree level *l*,
+and dimensions whose extent is exhausted simply stop splitting (the tree's
+fan-out shrinks at deeper levels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CodecError
+
+__all__ = ["interleave", "deinterleave", "level_widths", "total_bits"]
+
+
+def _validate(bits_per_dim: Sequence[int]) -> None:
+    if not bits_per_dim:
+        raise CodecError("need at least one dimension")
+    for width in bits_per_dim:
+        if width < 0:
+            raise CodecError(f"negative bit width: {width}")
+    if sum(bits_per_dim) == 0:
+        raise CodecError("all dimensions are zero bits wide")
+
+
+def total_bits(bits_per_dim: Sequence[int]) -> int:
+    """Length of a Z-number for the given per-dimension widths."""
+    _validate(bits_per_dim)
+    return sum(bits_per_dim)
+
+
+def level_widths(bits_per_dim: Sequence[int]) -> List[int]:
+    """Bits consumed per interleave round (= quadtree level fan-out log2).
+
+    ``level_widths([3, 1])`` is ``[2, 1, 1]``: in round 0 both dimensions
+    contribute, afterwards only the wider one.
+    """
+    _validate(bits_per_dim)
+    rounds = max(bits_per_dim)
+    return [sum(1 for width in bits_per_dim if width > level) for level in range(rounds)]
+
+
+def interleave(coordinates: Sequence[int], bits_per_dim: Sequence[int]) -> int:
+    """Morton-encode ``coordinates`` into a single Z-number.
+
+    Coordinates must fit their declared widths; the result has
+    ``sum(bits_per_dim)`` bits.
+    """
+    _validate(bits_per_dim)
+    if len(coordinates) != len(bits_per_dim):
+        raise CodecError(
+            f"{len(coordinates)} coordinates for {len(bits_per_dim)} dimensions"
+        )
+    for coordinate, width in zip(coordinates, bits_per_dim):
+        if coordinate < 0 or coordinate >> width:
+            raise CodecError(f"coordinate {coordinate} does not fit in {width} bits")
+    z = 0
+    rounds = max(bits_per_dim)
+    for level in range(rounds):
+        for dimension, width in enumerate(bits_per_dim):
+            if width > level:
+                bit = (coordinates[dimension] >> (width - 1 - level)) & 1
+                z = (z << 1) | bit
+    return z
+
+
+def deinterleave(z: int, bits_per_dim: Sequence[int]) -> List[int]:
+    """Invert :func:`interleave`."""
+    _validate(bits_per_dim)
+    length = sum(bits_per_dim)
+    if z < 0 or z >> length:
+        raise CodecError(f"Z-number {z} does not fit in {length} bits")
+    coordinates = [0] * len(bits_per_dim)
+    position = length
+    rounds = max(bits_per_dim)
+    for level in range(rounds):
+        for dimension, width in enumerate(bits_per_dim):
+            if width > level:
+                position -= 1
+                bit = (z >> position) & 1
+                coordinates[dimension] = (coordinates[dimension] << 1) | bit
+    return coordinates

@@ -1,0 +1,81 @@
+"""Paper-derived constants and defaults.
+
+Every number in this module is traceable to the SENS-Join paper (ICDE 2009).
+The section reference is given next to each constant.  Changing a value here
+changes the default for the whole library; experiment code can always
+override per run via the relevant dataclass parameters.
+"""
+
+from __future__ import annotations
+
+#: Maximum packet size in bytes used for the transmission metric (§VI,
+#: "We use the number of transmissions as our metric with a maximum packet
+#: size of 48 bytes. This is commonly used.")
+DEFAULT_MAX_PACKET_BYTES = 48
+
+#: Alternative large packet size studied in §VI-A ("for a maximum packet size
+#: of 124 bytes, SENS-Join still reduces the number of packets of nodes close
+#: to the root by an order of magnitude").
+LARGE_MAX_PACKET_BYTES = 124
+
+#: Treecut threshold D_max in bytes (§IV-B / §IV-E: "We use D_max = 30
+#: bytes"; constraint D_max < MAX_PACKET_SIZE).
+DEFAULT_TREECUT_DMAX_BYTES = 30
+
+#: Memory cap for Selective Filter Forwarding (§IV-C: "A node keeps the
+#: join-attribute tuples of its subtree if their size is less than a
+#: predefined limit. We use a limit of 500 bytes.")
+DEFAULT_SUBTREE_FILTER_LIMIT_BYTES = 500
+
+#: Bytes per attribute value on the wire (§IV-B: "Assuming that each
+#: attribute requires two bytes").
+BYTES_PER_ATTRIBUTE = 2
+
+#: Radio communication range in metres (§VI, "We set the communication range
+#: of each node to 50m").
+DEFAULT_RADIO_RANGE_M = 50.0
+
+#: Default network: 1500 nodes on a 1050 m x 1050 m area (§VI).
+PAPER_NODE_COUNT = 1500
+PAPER_AREA_SIDE_M = 1050.0
+
+#: Default fraction of nodes contributing to the result (§VI: 5%).
+PAPER_RESULT_FRACTION = 0.05
+
+#: Quantization resolutions used in the paper's experiments (§V-B: "we used
+#: steps of 0.1 deg C for the temperature and of 1m for the X- and
+#: Y-coordinates").
+PAPER_TEMPERATURE_RESOLUTION = 0.1
+PAPER_COORDINATE_RESOLUTION_M = 1.0
+
+#: Relation-membership flags prefixed to every point in the quadtree wire
+#: format (§V-C: Relation A = '10', B = '01', both = '11').
+FLAG_RELATION_A = 0b10
+FLAG_RELATION_B = 0b01
+FLAG_RELATION_BOTH = 0b11
+
+#: Typical neighbourhood size used to bound proxy memory (§IV-B: "usually
+#: around 6 to 15").
+TYPICAL_NEIGHBOURS_MAX = 15
+
+#: MicaZ-like energy parameters (substitution for the paper's testbed; see
+#: DESIGN.md).  The per-packet overhead dominates, reproducing the §IV-B
+#: footnote: "removing about 10 bytes from a packet incurs a saving in the
+#: order of 5%".  Units are abstract micro-joule-like units.
+DEFAULT_TX_COST_PER_PACKET = 400.0
+DEFAULT_TX_COST_PER_BYTE = 4.0
+DEFAULT_RX_COST_PER_PACKET = 250.0
+DEFAULT_RX_COST_PER_BYTE = 2.5
+
+#: Per-hop transmission latency in seconds (order of a few milliseconds per
+#: 48-byte frame at 250 kbps plus MAC overhead).  Only used by the
+#: response-time study (§VII), never by the transmission-count metric.
+DEFAULT_HOP_LATENCY_S = 0.01
+
+#: Per-tree-level scheduling slot in seconds.  Collection and dissemination
+#: are epoch-scheduled TAG-style (a node "knows when its children will send
+#: their data ... it sets the wakeup-time accordingly", §IV-A/[18]); each
+#: protocol phase therefore costs height x slot of wall-clock time on top of
+#: serialisation, which is what makes SENS-Join's three phases slower than
+#: the external join's single pass (§VII) while staying within its 2x bound.
+DEFAULT_LEVEL_SLOT_S = 0.02

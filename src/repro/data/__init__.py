@@ -1,0 +1,35 @@
+"""Data substrate: synthetic sensor fields, catalogues, relations, lab trace."""
+
+from .fields import (
+    ConstantField,
+    Field,
+    GaussianProcessField,
+    GradientField,
+    PatchyField,
+    UncorrelatedField,
+    empirical_correlation,
+)
+from .labdata import LabMote, LabReading, generate_lab_deployment, generate_lab_trace
+from .relations import RELATION_SENSORS, SensorWorld, default_fields
+from .sensors import STANDARD_SENSORS, SensorCatalog, SensorSpec, standard_catalog
+
+__all__ = [
+    "ConstantField",
+    "Field",
+    "GaussianProcessField",
+    "GradientField",
+    "LabMote",
+    "LabReading",
+    "PatchyField",
+    "RELATION_SENSORS",
+    "STANDARD_SENSORS",
+    "SensorCatalog",
+    "SensorSpec",
+    "SensorWorld",
+    "UncorrelatedField",
+    "default_fields",
+    "empirical_correlation",
+    "generate_lab_deployment",
+    "generate_lab_trace",
+    "standard_catalog",
+]

@@ -1,0 +1,147 @@
+"""Sensor type catalogue.
+
+The network is abstracted as a relation "with one attribute per sensor (e.g.,
+temperature) of the nodes and one tuple per node" (§III).  A
+:class:`SensorSpec` describes one such attribute: its physical range (used by
+the quantizer's ``[MinVal, MaxVal]``, fixed "while setting up the network",
+§V-B) and its quantization resolution (the paper uses 0.1 °C for temperature
+and 1 m for coordinates).
+
+:data:`STANDARD_SENSORS` mirrors the attributes the paper's queries use:
+``temp``, ``hum``, ``pres``, ``light`` plus the position pseudo-sensors
+``x`` and ``y`` (positions are known, static attributes but are queried
+exactly like sensors, cf. queries Q1/Q2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from .. import constants
+
+__all__ = ["SensorSpec", "SensorCatalog", "STANDARD_SENSORS", "standard_catalog"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one sensor type / attribute.
+
+    Attributes
+    ----------
+    name:
+        Attribute name used in queries (e.g. ``"temp"``).
+    unit:
+        Human-readable unit; informational only.
+    min_value, max_value:
+        The environment-specific range estimate fixed at network setup
+        (§V-B).  Actual readings *may* fall outside — the quantizer clamps
+        them (Fig. 7 lines 12-15) at the cost of potential false positives.
+    resolution:
+        Quantization step for the compact representation.  Coarser ⇒ fewer
+        bits but more false positives; never affects correctness (§V-B).
+    """
+
+    name: str
+    unit: str
+    min_value: float
+    max_value: float
+    resolution: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sensor name must be non-empty")
+        if self.max_value <= self.min_value:
+            raise ValueError(
+                f"sensor {self.name!r}: max_value ({self.max_value}) must "
+                f"exceed min_value ({self.min_value})"
+            )
+        if self.resolution <= 0:
+            raise ValueError(f"sensor {self.name!r}: resolution must be positive")
+
+    @property
+    def span(self) -> float:
+        """Width of the value range."""
+        return self.max_value - self.min_value
+
+
+class SensorCatalog:
+    """An ordered, name-keyed collection of :class:`SensorSpec`."""
+
+    def __init__(self, specs: Iterable[SensorSpec]):
+        self._specs: Dict[str, SensorSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ValueError(f"duplicate sensor name: {spec.name!r}")
+            self._specs[spec.name] = spec
+
+    def __getitem__(self, name: str) -> SensorSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs))
+            raise KeyError(f"unknown sensor {name!r}; known sensors: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def names(self) -> list[str]:
+        """Sensor names in catalogue order."""
+        return list(self._specs)
+
+    def subset(self, names: Iterable[str]) -> "SensorCatalog":
+        """A catalogue restricted to the given names (in the given order)."""
+        return SensorCatalog(self[name] for name in names)
+
+    def with_area(self, area_side_m: float) -> "SensorCatalog":
+        """Copy with the ``x``/``y`` pseudo-sensor ranges set to the area."""
+        specs = []
+        for spec in self:
+            if spec.name in ("x", "y"):
+                specs.append(
+                    SensorSpec(
+                        spec.name,
+                        spec.unit,
+                        0.0,
+                        float(area_side_m),
+                        spec.resolution,
+                    )
+                )
+            else:
+                specs.append(spec)
+        return SensorCatalog(specs)
+
+
+#: Paper-style sensor suite.  The ranges are *generous* (several standard
+#: deviations beyond what the synthetic fields produce): §V-B notes that "a
+#: moderate overestimation is not critical" because domains grow in powers
+#: of two anyway, whereas a too-narrow range forces clamping — and a clamped
+#: value lands in a boundary cell whose conservative bounds are unbounded
+#: (see :mod:`repro.codec.quantize`), costing false positives.  The x/y
+#: ranges are placeholders replaced per deployment via :meth:`with_area`.
+STANDARD_SENSORS: Mapping[str, SensorSpec] = {
+    spec.name: spec
+    for spec in (
+        SensorSpec("temp", "degC", -10.0, 54.0, constants.PAPER_TEMPERATURE_RESOLUTION),
+        SensorSpec("hum", "%RH", 0.0, 128.0, 0.5),
+        SensorSpec("pres", "hPa", 950.0, 1078.0, 0.5),
+        SensorSpec("light", "lux", -1000.0, 2000.0, 4.0),
+        SensorSpec("x", "m", 0.0, constants.PAPER_AREA_SIDE_M, constants.PAPER_COORDINATE_RESOLUTION_M),
+        SensorSpec("y", "m", 0.0, constants.PAPER_AREA_SIDE_M, constants.PAPER_COORDINATE_RESOLUTION_M),
+    )
+}
+
+
+def standard_catalog(area_side_m: float | None = None) -> SensorCatalog:
+    """The default catalogue, optionally fitted to a deployment area."""
+    catalog = SensorCatalog(STANDARD_SENSORS.values())
+    if area_side_m is not None:
+        catalog = catalog.with_area(area_side_m)
+    return catalog

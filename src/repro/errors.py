@@ -1,0 +1,64 @@
+"""Exception hierarchy for the SENS-Join reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate the failure domain (simulation,
+query language, codec, protocol).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A problem inside the discrete-event simulator (scheduling, channel)."""
+
+
+class NetworkError(SimulationError):
+    """Deployment or connectivity problem (e.g. the graph is disconnected)."""
+
+
+class RoutingError(SimulationError):
+    """The routing tree could not be built or repaired."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language problems."""
+
+
+class ParseError(QueryError):
+    """The SQL-dialect text could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the query string where parsing failed, or ``None``
+        when the error is not tied to a specific location.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindingError(QueryError):
+    """A query references an unknown relation, alias, or attribute."""
+
+
+class EvaluationError(QueryError):
+    """An expression could not be evaluated over a tuple or interval."""
+
+
+class CodecError(ReproError):
+    """Quantizer / Z-order / quadtree encoding or decoding failure."""
+
+
+class ProtocolError(ReproError):
+    """A join protocol violated one of its internal invariants."""
+
+
+class ExecutionAborted(ReproError):
+    """A query execution was aborted (e.g. by unrecovered network failure)."""

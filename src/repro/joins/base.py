@@ -1,0 +1,205 @@
+"""Shared infrastructure for the join algorithms.
+
+Everything a join method needs to run is bundled in an
+:class:`ExecutionContext`: the deployed network, the converged routing tree,
+the world (snapshot data + relation membership) and the parsed query.
+:class:`TupleFormat` derives the wire-level facts from the query — which
+attributes form the join-attribute tuple and the full tuple per alias, their
+byte sizes, and the quantizer/codec shared network-wide.
+
+Per-node tuple construction follows Fig. 1 line 8: a node produces its tuple
+from local sensor data; the constructor "returns NULL if (T not in A) and
+(T not in B)" or if the tuple fails the per-alias selection predicates.
+:func:`node_tuple` returns the tuple plus its *alias flags* — one bit per
+FROM-clause alias (MSB = first alias), the generalisation of the paper's
+two-bit relation flags ('10' = A, '01' = B, '11' = both, §V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import constants
+from ..codec.quadtree import FlaggedPoint, QuadtreeCodec
+from ..codec.quantize import Quantizer
+from ..data.relations import SensorWorld
+from ..errors import ProtocolError, QueryError
+from ..query.evaluate import JoinResult
+from ..query.query import JoinQuery
+from ..routing.tree import RoutingTree
+from ..sim.network import Network
+from ..sim.stats import TransmissionStats
+
+__all__ = [
+    "ExecutionContext",
+    "TupleFormat",
+    "FullTupleRecord",
+    "JoinOutcome",
+    "JoinAlgorithm",
+    "node_tuple",
+]
+
+
+@dataclass(frozen=True)
+class FullTupleRecord:
+    """A complete tuple travelling through the network.
+
+    ``flags`` records which aliases the originating node can serve (bit per
+    alias, MSB-first); ``values`` holds the full-tuple attributes.
+    """
+
+    node_id: int
+    flags: int
+    values: Mapping[str, float]
+
+
+class TupleFormat:
+    """Wire-format facts derived from a query and a sensor catalogue."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        world: SensorWorld,
+        bytes_per_attribute: int = constants.BYTES_PER_ATTRIBUTE,
+    ):
+        query.require_join()
+        query.validate_attributes(world.catalog)
+        self.query = query
+        self.world = world
+        self.bytes_per_attribute = bytes_per_attribute
+        self.aliases: List[str] = query.aliases
+        #: Union over aliases — in a self-join the attribute sets coincide
+        #: and a node sends each value once (§IV-B: "we avoid sending
+        #: attribute values redundantly").
+        self.join_attributes: List[str] = sorted(
+            {attr for alias in self.aliases for attr in query.join_attributes(alias)}
+        )
+        self.full_attributes: List[str] = sorted(
+            {attr for alias in self.aliases for attr in query.full_tuple_attributes(alias)}
+        )
+        if not self.join_attributes:
+            raise QueryError("query has no join attributes")
+        self.quantizer = Quantizer.for_attributes(world.catalog, self.join_attributes)
+        self.codec = QuadtreeCodec.for_quantizer(self.quantizer, alias_count=len(self.aliases))
+
+    # -- sizes -------------------------------------------------------------------
+
+    @property
+    def full_tuple_bytes(self) -> int:
+        """Wire size of one complete tuple."""
+        return len(self.full_attributes) * self.bytes_per_attribute
+
+    @property
+    def raw_join_tuple_bytes(self) -> int:
+        """Wire size of one *raw* (uncompacted) join-attribute tuple."""
+        return len(self.join_attributes) * self.bytes_per_attribute
+
+    def full_tuples_bytes(self, count: int) -> int:
+        """Wire size of ``count`` complete tuples (multiset, §IV-B)."""
+        return count * self.full_tuple_bytes
+
+    def encoded_points_bytes(self, points: Sequence[FlaggedPoint] | frozenset) -> int:
+        """Wire size of a point set under the quadtree representation."""
+        bits = self.codec.encoded_size_bits(points)
+        return (bits + 7) // 8
+
+    # -- flags -------------------------------------------------------------------
+
+    def alias_bit(self, alias: str) -> int:
+        """The flag bit for ``alias`` (MSB = first alias)."""
+        position = self.aliases.index(alias)
+        return 1 << (len(self.aliases) - 1 - position)
+
+    def aliases_of_flags(self, flags: int) -> List[str]:
+        """Aliases named by a flag combination."""
+        return [alias for alias in self.aliases if flags & self.alias_bit(alias)]
+
+
+def node_tuple(
+    fmt: TupleFormat, node_id: int
+) -> Tuple[Optional[FullTupleRecord], int]:
+    """Construct a node's tuple and alias flags (Fig. 1 line 8).
+
+    Returns ``(record, flags)``; ``record`` is None (and flags 0) when the
+    node belongs to none of the queried relations or fails every alias's
+    selection predicates.
+    """
+    node = fmt.world.network.nodes[node_id]
+    if not node.alive or node.is_base_station:
+        return None, 0
+    flags = 0
+    for alias in fmt.aliases:
+        relation = fmt.query.relation_of(alias)
+        if not node.belongs_to(relation):
+            continue
+        env = {(alias, name): value for name, value in node.readings.items()}
+        if all(pred.evaluate(env) for pred in fmt.query.selection_predicates(alias)):
+            flags |= fmt.alias_bit(alias)
+    if flags == 0:
+        return None, 0
+    try:
+        values = {name: node.readings[name] for name in fmt.full_attributes}
+    except KeyError as missing:
+        raise ProtocolError(
+            f"node {node_id} lacks reading {missing}; was a snapshot taken?"
+        ) from None
+    return FullTupleRecord(node_id, flags, values), flags
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything a join algorithm needs for one execution."""
+
+    network: Network
+    tree: RoutingTree
+    world: SensorWorld
+    query: JoinQuery
+
+    def tuple_format(self) -> TupleFormat:
+        """Derive the wire format for this query."""
+        return TupleFormat(self.query, self.world)
+
+
+@dataclass
+class JoinOutcome:
+    """Result + cost accounting of one join execution."""
+
+    algorithm: str
+    result: JoinResult
+    stats: TransmissionStats
+    #: Simulated wall-clock duration (critical-path estimate, §VII study).
+    response_time_s: float
+    #: Algorithm-specific diagnostics (filter sizes, treecut counts, ...).
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_transmissions(self) -> int:
+        """Network-wide packet transmissions, excluding query dissemination."""
+        phases = [p for p in self.stats.tx_packets_by_phase() if p != "query-dissemination"]
+        return self.stats.total_tx_packets(phases)
+
+    @property
+    def total_bytes(self) -> int:
+        """Network-wide payload bytes, excluding query dissemination."""
+        phases = [p for p in self.stats.tx_packets_by_phase() if p != "query-dissemination"]
+        return self.stats.total_tx_bytes(phases)
+
+    def per_phase_transmissions(self) -> Dict[str, int]:
+        """Breakdown by protocol phase (Fig. 15)."""
+        return self.stats.tx_packets_by_phase()
+
+    def max_node_transmissions(self) -> int:
+        """Load of the most loaded node (Fig. 11 headline number)."""
+        phases = [p for p in self.stats.tx_packets_by_phase() if p != "query-dissemination"]
+        return self.stats.max_node_tx_packets(phases)
+
+
+class JoinAlgorithm:
+    """Interface every join method implements."""
+
+    name = "abstract"
+
+    def execute(self, context: ExecutionContext) -> JoinOutcome:
+        """Run one snapshot execution and return result + accounting."""
+        raise NotImplementedError

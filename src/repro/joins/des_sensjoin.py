@@ -1,0 +1,236 @@
+"""SENS-Join as actual message-passing processes on the DES kernel.
+
+The production implementation (:class:`repro.joins.sensjoin.SensJoin`) runs
+the protocol as synchronous tree traversals — exact and fast, but the
+schedule is implicit.  This module is an *independent second implementation*
+in the event-driven style of the paper's Fig. 1: every node is a kernel
+process that sleeps between phases, waits for its children's messages,
+applies the Fig. 2/3 logic, and sends.  Nothing here shares protocol code
+with the fast path (only the codec, the quantizer and the filter builder are
+reused — they define the wire format, not the protocol).
+
+Purpose: equivalence testing.  ``tests/test_joins_des.py`` asserts that for
+the paper's default configuration the DES engine produces *identical*
+per-phase transmission counts, per-node loads, and join results as the fast
+path — a strong check that the synchronous traversals faithfully implement
+the distributed protocol.  (The DES engine supports the paper's defaults
+only: quadtree representation; Treecut and Selective Filter Forwarding on.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from .. import constants
+from ..codec.quadtree import FlaggedPoint
+from ..codec.setops import intersect_points, union_points
+from ..query.evaluate import Row, evaluate_join
+from ..sim.kernel import Environment, Event
+from ..sim.node import BASE_STATION_ID
+from .base import (
+    ExecutionContext,
+    FullTupleRecord,
+    JoinAlgorithm,
+    JoinOutcome,
+    node_tuple,
+)
+from .filterbuild import build_join_filter
+from .sensjoin import PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL
+
+__all__ = ["DesSensJoin"]
+
+
+@dataclass
+class _Mailbox:
+    """Per-node inbox for one protocol phase."""
+
+    #: Complete tuples (Treecut payloads) received from children.
+    full_tuples: List[FullTupleRecord] = field(default_factory=list)
+    full_bytes: int = 0
+    joinatt_children: int = 0
+    points: FrozenSet[FlaggedPoint] = frozenset()
+    #: Pruned filter received from the parent (phase 1b).
+    filter_points: Optional[FrozenSet[FlaggedPoint]] = None
+    #: Final-phase tuples and bytes from children.
+    final_tuples: List[FullTupleRecord] = field(default_factory=list)
+    final_bytes: int = 0
+
+
+class DesSensJoin(JoinAlgorithm):
+    """Event-driven reference implementation (paper defaults only)."""
+
+    name = "sens-join[des]"
+
+    def execute(self, context: ExecutionContext) -> JoinOutcome:
+        """Run the protocol as kernel processes; see the module docstring."""
+        network, tree = context.network, context.tree
+        fmt = context.tuple_format()
+        channel = network.channel
+        env = Environment()
+
+        mailboxes: Dict[int, _Mailbox] = {n: _Mailbox() for n in tree.node_ids}
+        # Events: fired when a node has finished a phase.
+        done_1a: Dict[int, Event] = {n: env.event() for n in tree.node_ids}
+        filter_ready: Dict[int, Event] = {n: env.event() for n in tree.node_ids}
+        done_final: Dict[int, Event] = {n: env.event() for n in tree.node_ids}
+        exited: Dict[int, bool] = {n: False for n in tree.node_ids}
+        subtree_atts: Dict[int, Optional[FrozenSet[FlaggedPoint]]] = {}
+        proxy_records: Dict[int, List[FullTupleRecord]] = {}
+        own_record: Dict[int, Optional[FullTupleRecord]] = {}
+        own_point: Dict[int, Optional[FlaggedPoint]] = {}
+        details: Dict[str, float] = {}
+
+        def sensor_process(node_id: int):
+            mailbox = mailboxes[node_id]
+            children = tree.children(node_id)
+            # ---- phase 1a: wait for every child, then act (Fig. 2) ----
+            if children:
+                yield env.all_of([done_1a[child] for child in children])
+            record, flags = node_tuple(fmt, node_id)
+            own_record[node_id] = record
+            own_point[node_id] = (
+                (flags, fmt.quantizer.encode(
+                    {k: record.values[k] for k in fmt.join_attributes}
+                ))
+                if record is not None
+                else None
+            )
+            own_bytes = fmt.full_tuple_bytes if record is not None else 0
+            parent = tree.parent(node_id)
+            all_full = mailbox.joinatt_children == 0
+            total_full = mailbox.full_bytes + own_bytes
+            if all_full and total_full <= constants.DEFAULT_TREECUT_DMAX_BYTES:
+                # Treecut: hand over complete tuples and exit the query.
+                records = list(mailbox.full_tuples)
+                if record is not None:
+                    records.append(record)
+                payload = fmt.full_tuples_bytes(len(records))
+                yield env.timeout(channel.latency_for(payload))
+                channel.unicast(node_id, parent, payload, PHASE_COLLECTION)
+                target = mailboxes[parent]
+                target.full_tuples.extend(records)
+                target.full_bytes += payload
+                exited[node_id] = True
+                done_1a[node_id].succeed()
+                return
+            # Proxy + SubtreeJoinAtts bookkeeping (Fig. 2 lines 20-21).
+            proxy_records[node_id] = list(mailbox.full_tuples)
+            stored = mailbox.points
+            if stored and fmt.encoded_points_bytes(stored) > (
+                constants.DEFAULT_SUBTREE_FILTER_LIMIT_BYTES
+            ):
+                subtree_atts[node_id] = None
+            else:
+                subtree_atts[node_id] = stored
+            points = mailbox.points
+            for proxied in proxy_records[node_id]:
+                join_values = {k: proxied.values[k] for k in fmt.join_attributes}
+                points = union_points(
+                    points, [(proxied.flags, fmt.quantizer.encode(join_values))]
+                )
+            if own_point[node_id] is not None:
+                points = union_points(points, [own_point[node_id]])
+            payload = fmt.encoded_points_bytes(points)
+            yield env.timeout(channel.latency_for(payload))
+            channel.unicast(node_id, parent, payload, PHASE_COLLECTION)
+            target = mailboxes[parent]
+            target.points = union_points(target.points, points)
+            target.joinatt_children += 1
+            done_1a[node_id].succeed()
+
+            # ---- phase 1b: receive the filter, prune, broadcast (Fig. 3) ----
+            yield filter_ready[node_id]
+            incoming = mailbox.filter_points or frozenset()
+            awake = [child for child in children if not exited[child]]
+            if incoming and awake:
+                stored = subtree_atts[node_id]
+                pruned = intersect_points(incoming, stored) if stored is not None else incoming
+                if pruned:
+                    payload = fmt.encoded_points_bytes(pruned)
+                    yield env.timeout(channel.latency_for(payload))
+                    channel.broadcast(node_id, awake, payload, PHASE_FILTER)
+                    for child in awake:
+                        mailboxes[child].filter_points = pruned
+            for child in awake:
+                filter_ready[child].succeed()
+
+            # ---- phase 2: collect matching complete tuples ----
+            if awake:
+                yield env.all_of([done_final[child] for child in awake])
+            payload = mailbox.final_bytes
+            records_out = list(mailbox.final_tuples)
+            filter_flags: Dict[int, int] = {}
+            for fl, z in (mailbox.filter_points or frozenset()):
+                filter_flags[z] = filter_flags.get(z, 0) | fl
+            matched: List[FullTupleRecord] = []
+            if record is not None and own_point[node_id] is not None:
+                fl, z = own_point[node_id]
+                if filter_flags.get(z, 0) & fl:
+                    matched.append(record)
+            for proxied in proxy_records[node_id]:
+                join_values = {k: proxied.values[k] for k in fmt.join_attributes}
+                z = fmt.quantizer.encode(join_values)
+                if filter_flags.get(z, 0) & proxied.flags:
+                    matched.append(proxied)
+            records_out.extend(matched)
+            payload += fmt.full_tuples_bytes(len(matched))
+            yield env.timeout(channel.latency_for(payload))
+            channel.unicast(node_id, parent, payload, PHASE_FINAL)
+            target = mailboxes[parent]
+            target.final_tuples.extend(records_out)
+            target.final_bytes += payload
+            done_final[node_id].succeed()
+
+        def base_station_process():
+            mailbox = mailboxes[BASE_STATION_ID]
+            children = tree.children(BASE_STATION_ID)
+            if children:
+                yield env.all_of([done_1a[child] for child in children])
+            points = mailbox.points
+            for proxied in mailbox.full_tuples:
+                join_values = {k: proxied.values[k] for k in fmt.join_attributes}
+                points = union_points(
+                    points, [(proxied.flags, fmt.quantizer.encode(join_values))]
+                )
+            join_filter = build_join_filter(fmt, points)
+            details["filter_points"] = float(len(join_filter))
+            awake = [child for child in children if not exited[child]]
+            subtree = mailbox.points
+            pruned = intersect_points(join_filter, subtree)
+            if pruned and awake:
+                payload = fmt.encoded_points_bytes(pruned)
+                yield env.timeout(channel.latency_for(payload))
+                channel.broadcast(BASE_STATION_ID, awake, payload, PHASE_FILTER)
+                for child in awake:
+                    mailboxes[child].filter_points = pruned
+            for child in awake:
+                filter_ready[child].succeed()
+            if awake:
+                yield env.all_of([done_final[child] for child in awake])
+            done_final[BASE_STATION_ID].succeed()
+
+        for node_id in tree.node_ids:
+            if node_id == BASE_STATION_ID:
+                env.process(base_station_process())
+            else:
+                env.process(sensor_process(node_id))
+        env.run(until=done_final[BASE_STATION_ID])
+
+        mailbox = mailboxes[BASE_STATION_ID]
+        arrived = list(mailbox.final_tuples) + list(mailbox.full_tuples)
+        tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
+        for record in arrived:
+            for alias in fmt.aliases_of_flags(record.flags):
+                tuples_by_alias[alias].append(Row(record.node_id, dict(record.values)))
+        result = evaluate_join(context.query, tuples_by_alias, apply_selections=False)
+
+        return JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            stats=network.stats,
+            response_time_s=(
+                3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S + env.now
+            ),
+            details=details,
+        )

@@ -1,0 +1,58 @@
+"""Join-filter construction at the base station (§IV-A step 1a, tail end).
+
+After the Join-Attribute-Collection the base station holds the set of
+quantized join-attribute tuples of the whole network (as flagged points).
+"The join-attribute tuples that have a partner form the 'join filter'".
+
+Because the points are quantization cells, the join runs under conservative
+interval semantics (:func:`repro.query.evaluate.conservative_semijoin`): a
+point stays in the filter when the cells *possibly* satisfy every join
+predicate — the N-way semi-join reduction of the quantized relations.  A
+surviving point keeps exactly the alias flags of the roles in which it
+survived, so a node later checks the filter with its own alias flags.
+
+Self-join subtlety: with aliases A and B over the same relation, a single
+node's point typically carries flags '11'.  Its A-role and B-role survive
+independently (e.g. in Q1 a hot node may join as A but not as B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..codec.quadtree import FlaggedPoint
+from ..query.evaluate import CellBounds, conservative_semijoin
+from .base import TupleFormat
+
+__all__ = ["build_join_filter"]
+
+
+def build_join_filter(
+    fmt: TupleFormat, points: Iterable[FlaggedPoint]
+) -> FrozenSet[FlaggedPoint]:
+    """The join filter: the sub-(multi)set of points that possibly join."""
+    # Collapse duplicate Z-numbers, OR-ing their flags (different nodes can
+    # share a quantization cell — that is the whole point of quantizing).
+    flags_by_z: Dict[int, int] = {}
+    for flags, z in points:
+        flags_by_z[z] = flags_by_z.get(z, 0) | flags
+
+    # Per alias: the list of Z-numbers playing that role, with cell bounds.
+    z_lists: Dict[str, List[int]] = {}
+    cells_by_alias: Dict[str, List[CellBounds]] = {}
+    for alias in fmt.aliases:
+        bit = fmt.alias_bit(alias)
+        zs = sorted(z for z, flags in flags_by_z.items() if flags & bit)
+        z_lists[alias] = zs
+        cells_by_alias[alias] = [fmt.quantizer.cell_bounds(z) for z in zs]
+
+    survivors = conservative_semijoin(fmt.query, cells_by_alias)
+
+    surviving_flags: Dict[int, int] = {}
+    for alias in fmt.aliases:
+        bit = fmt.alias_bit(alias)
+        zs = z_lists[alias]
+        for index in survivors[alias]:
+            z = zs[index]
+            surviving_flags[z] = surviving_flags.get(z, 0) | bit
+    return frozenset((flags, z) for z, flags in surviving_flags.items())

@@ -1,0 +1,104 @@
+"""Algorithm selection from the paper's cost structure (Fig. 10 as a model).
+
+The paper's bottom line is a *regime split*: "SENS-Join is more efficient
+than the state-of-the-art approach unless a high fraction of the input
+relations (ca. 60% - 80%) joins" — below the break-even use SENS-Join, above
+it the external join is optimal.  A deployment that knows (or can estimate,
+e.g. from the previous round of a continuous query) the expected result
+fraction can therefore *plan*.
+
+:func:`estimate_costs` prices both methods analytically from the routing
+tree — no execution needed:
+
+* **external** — every node ships its subtree's full tuples:
+  ``sum_n ceil(full_bytes * (desc(n) + 1) / P)``, exact for the byte-packing
+  model this library uses.
+* **SENS-Join** — the collection floor (about one packet per node, §VI's
+  "lower bound" argument; Treecut keeps the leaves at exactly one), plus a
+  result-fraction-proportional share of the external cost for the final
+  phase, plus a filter term that also scales with the fraction.
+
+:func:`recommend_algorithm` compares the two and returns the cheaper
+method's name.  The estimate is a heuristic — benchmarks check that its
+*decisions* (not its absolute numbers) match reality at both extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..routing.tree import RoutingTree
+from .base import TupleFormat
+
+__all__ = ["CostEstimate", "estimate_costs", "recommend_algorithm"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted transmission counts for both methods at one fraction."""
+
+    external_tx: float
+    sens_tx: float
+    fraction: float
+
+    @property
+    def sens_wins(self) -> bool:
+        """True when SENS-Join is predicted to be cheaper."""
+        return self.sens_tx < self.external_tx
+
+    @property
+    def predicted_savings(self) -> float:
+        """1 - sens/external (negative when the external join wins)."""
+        if self.external_tx <= 0:
+            return 0.0
+        return 1.0 - self.sens_tx / self.external_tx
+
+
+def estimate_costs(
+    tree: RoutingTree,
+    fmt: TupleFormat,
+    expected_fraction: float,
+    packet_bytes: int,
+) -> CostEstimate:
+    """Analytic cost prediction; see the module docstring."""
+    if not 0.0 <= expected_fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {expected_fraction}")
+    descendants = tree.descendant_counts()
+    node_ids = [n for n in tree.node_ids if n != tree.root]
+    full = fmt.full_tuple_bytes
+
+    external = sum(
+        math.ceil(full * (descendants[n] + 1) / packet_bytes) for n in node_ids
+    )
+
+    # Collection floor: ~one packet per node (quadtree keeps almost every
+    # stream within a packet; near-root overflow adds the join-ratio share).
+    ratio = fmt.raw_join_tuple_bytes / max(full, 1)
+    collection = len(node_ids) + ratio * 0.5 * max(external - len(node_ids), 0)
+    # Final phase: the contributing fraction of the external volume.
+    final = expected_fraction * external
+    # Filter: flows only into contributing regions; scale with the fraction
+    # but never beyond one packet per interior node.
+    filter_cost = min(expected_fraction * 4.0, 1.0) * 0.3 * len(node_ids)
+    return CostEstimate(
+        external_tx=float(external),
+        sens_tx=collection + final + filter_cost,
+        fraction=expected_fraction,
+    )
+
+
+def recommend_algorithm(
+    tree: RoutingTree,
+    fmt: TupleFormat,
+    expected_fraction: float,
+    packet_bytes: int,
+) -> Tuple[str, CostEstimate]:
+    """The cheaper method for the expected result fraction.
+
+    Returns ``("sens-join" | "external-join", estimate)``.
+    """
+    estimate = estimate_costs(tree, fmt, expected_fraction, packet_bytes)
+    name = "sens-join" if estimate.sens_wins else "external-join"
+    return name, estimate

@@ -1,0 +1,185 @@
+"""High-level query execution: snapshots, continuous queries, failure recovery.
+
+The runner ties the substrates together the way the modelled system does
+(§III "Query Processing"):
+
+1. the query is flooded from the base station (both join methods pay this
+   identically; it is recorded under its own phase label and excluded from
+   the comparison metrics);
+2. a snapshot is taken (each node reads its sensors exactly once, §IV-D);
+3. the join algorithm runs over the converged routing tree;
+4. for ``SAMPLE PERIOD x`` queries, steps 2-3 repeat every x seconds on a
+   fresh snapshot ("independent executions of the query", §III).
+
+Error tolerance (§IV-F): "If a link goes down during the execution of a
+query, we rely upon the tree protocol to re-establish the routing structure.
+Afterwards, we simply re-execute the query."  :func:`run_with_failures`
+models exactly that: scheduled failures abort the in-flight execution, the
+tree repairs over the surviving topology (orphaned nodes drop out), and the
+query re-executes from a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..data.relations import SensorWorld
+from ..errors import ExecutionAborted
+from ..query.query import JoinQuery, SamplePeriod
+from ..routing.ctp import build_tree, repair_tree
+from ..routing.dissemination import flood_query
+from ..routing.tree import RoutingTree
+from ..sim.network import Network
+from .base import ExecutionContext, JoinAlgorithm, JoinOutcome
+from .external import ExternalJoin
+from .sensjoin import SensJoin, SensJoinConfig
+
+__all__ = [
+    "run_snapshot",
+    "run_continuous",
+    "run_with_failures",
+    "NetworkFailure",
+    "make_algorithm",
+]
+
+_ALGORITHMS: dict[str, Callable[[], JoinAlgorithm]] = {
+    "sens-join": SensJoin,
+    "external-join": ExternalJoin,
+}
+
+
+def make_algorithm(
+    name: Union[str, JoinAlgorithm], config: Optional[SensJoinConfig] = None
+) -> JoinAlgorithm:
+    """Resolve an algorithm name (or pass an instance through)."""
+    if isinstance(name, JoinAlgorithm):
+        return name
+    if name == "sens-join" and config is not None:
+        return SensJoin(config)
+    try:
+        return _ALGORITHMS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def run_snapshot(
+    network: Network,
+    world: SensorWorld,
+    query: JoinQuery,
+    algorithm: Union[str, JoinAlgorithm] = "sens-join",
+    tree: Optional[RoutingTree] = None,
+    snapshot_time: float = 0.0,
+    disseminate_query: bool = False,
+    tree_seed: int = 0,
+) -> JoinOutcome:
+    """Execute one snapshot ("ONCE") query and return the outcome.
+
+    Accounting starts fresh: the network's energy ledgers and statistics are
+    reset, so the outcome reflects exactly one execution.
+    """
+    algo = make_algorithm(algorithm)
+    if tree is None:
+        tree = build_tree(network, seed=tree_seed)
+    network.reset_accounting()
+    if disseminate_query:
+        flood_query(network, len(query.sql().encode()))
+    world.take_snapshot(snapshot_time)
+    context = ExecutionContext(network=network, tree=tree, world=world, query=query)
+    return algo.execute(context)
+
+
+def run_continuous(
+    network: Network,
+    world: SensorWorld,
+    query: JoinQuery,
+    algorithm: Union[str, JoinAlgorithm] = "sens-join",
+    executions: int = 5,
+    tree: Optional[RoutingTree] = None,
+    tree_seed: int = 0,
+) -> List[JoinOutcome]:
+    """Execute a ``SAMPLE PERIOD`` query for ``executions`` rounds.
+
+    Each round is an independent execution over the most recent snapshot
+    (§III); the world's fields evolve between rounds when built with a
+    non-zero ``drift_rate``.
+    """
+    if not isinstance(query.mode, SamplePeriod):
+        raise ValueError("run_continuous expects a SAMPLE PERIOD query")
+    if executions < 1:
+        raise ValueError("need at least one execution")
+    algo = make_algorithm(algorithm)
+    if tree is None:
+        tree = build_tree(network, seed=tree_seed)
+    outcomes = []
+    for round_index in range(executions):
+        network.reset_accounting()
+        world.take_snapshot(round_index * query.mode.seconds)
+        context = ExecutionContext(network=network, tree=tree, world=world, query=query)
+        outcomes.append(algo.execute(context))
+    return outcomes
+
+
+@dataclass(frozen=True)
+class NetworkFailure:
+    """A scheduled topology change for the §IV-F recovery experiments.
+
+    ``kind`` is ``"node"`` (node dies) or ``"link"`` (link goes down);
+    ``node_a``/``node_b`` identify the target.  The failure strikes during
+    the given execution ``attempt`` (0 = the first), aborting it.
+    """
+
+    kind: str
+    node_a: int
+    node_b: int = -1
+    attempt: int = 0
+
+    def apply(self, network: Network) -> None:
+        """Mutate the network topology."""
+        if self.kind == "node":
+            network.fail_node(self.node_a)
+        elif self.kind == "link":
+            network.fail_link(self.node_a, self.node_b)
+        else:
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+
+
+def run_with_failures(
+    network: Network,
+    world: SensorWorld,
+    query: JoinQuery,
+    algorithm: Union[str, JoinAlgorithm] = "sens-join",
+    failures: Sequence[NetworkFailure] = (),
+    max_retries: int = 5,
+    tree_seed: int = 0,
+) -> JoinOutcome:
+    """Execute with §IV-F semantics: abort on failure, repair, re-execute.
+
+    Returns the outcome of the first execution that completes without a
+    scheduled failure; its ``details["retries"]`` records how many attempts
+    were aborted.  Raises :class:`~repro.errors.ExecutionAborted` if failures
+    outlast ``max_retries``.
+    """
+    tree = build_tree(network, seed=tree_seed)
+    pending = list(failures)
+    for attempt in range(max_retries + 1):
+        struck = [f for f in pending if f.attempt == attempt]
+        if struck:
+            # The failure hits mid-execution: the attempt delivers nothing,
+            # CTP repairs the tree, and the query re-executes (§IV-F).
+            for failure in struck:
+                failure.apply(network)
+                pending.remove(failure)
+            report = repair_tree(network, tree, seed=tree_seed)
+            tree = report.tree
+            continue
+        outcome = run_snapshot(
+            network, world, query, algorithm, tree=tree, snapshot_time=float(attempt)
+        )
+        outcome.details["retries"] = float(attempt)
+        return outcome
+    raise ExecutionAborted(
+        f"query did not complete within {max_retries} retries; "
+        f"{len(pending)} failure(s) still pending"
+    )

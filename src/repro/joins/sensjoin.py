@@ -1,0 +1,484 @@
+"""SENS-Join: the paper's general-purpose in-network join (§IV).
+
+The protocol in three steps, exactly following Figs. 1-3:
+
+1a. **Join-Attribute-Collection** (post-order up the routing tree).  Near the
+    leaves, *Treecut* applies: as long as the accumulated payload of complete
+    tuples stays within ``D_max`` (30 bytes) a node forwards complete tuples
+    and exits the query.  The first node where the volume would exceed
+    ``D_max`` stores the received complete tuples (it becomes a *proxy* for
+    that subtree), remembers its children's join-attribute points
+    (*SubtreeJoinAtts*, capped at 500 bytes), converts everything to
+    quantized join-attribute points, adds its own point, and sends the set
+    upward in the compact quadtree representation.
+
+1b. **Filter-Dissemination** (pre-order down the tree).  The base station
+    joins the collected points conservatively (cell-interval semantics) into
+    the *join filter* and broadcasts it.  *Selective Filter Forwarding*: each
+    node intersects the incoming filter with its SubtreeJoinAtts and
+    broadcasts only a non-empty intersection — the filter shrinks on the way
+    down and entire subtrees without result tuples never hear it.
+
+2.  **Final-Result-Computation** (post-order).  A node whose own point is in
+    the filter (in a role it has) sends its complete tuple — stored since
+    step 1a, because "it is not possible to re-acquire it from the sensors"
+    (§IV-D); a proxy checks and sends on behalf of its cut-off children.
+    Tuples aggregate into packets up the tree; the base station computes the
+    exact final join.
+
+Knobs (all default to the paper's values) support the ablation studies:
+``dmax_bytes`` (Treecut threshold; 0 disables Treecut), ``subtree_limit_bytes``
+(Selective-Filter-Forwarding memory; 0 disables pruning), and
+``representation`` (``"quadtree"`` | ``"raw"`` | ``"zlib"`` | ``"bzip2"`` —
+the Fig. 16 / §VI-B comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .. import constants
+from ..codec.compression import compressed_size, encode_raw_tuples
+from ..codec.quadtree import FlaggedPoint
+from ..codec.setops import intersect_points, union_points
+from ..errors import ProtocolError
+from ..query.evaluate import Row, evaluate_join
+from ..sim.node import BASE_STATION_ID
+from ..sim.trace import NullTracer, Tracer
+from .base import (
+    ExecutionContext,
+    FullTupleRecord,
+    JoinAlgorithm,
+    JoinOutcome,
+    TupleFormat,
+    node_tuple,
+)
+from .filterbuild import build_join_filter
+
+__all__ = ["SensJoin", "SensJoinConfig", "PHASE_COLLECTION", "PHASE_FILTER", "PHASE_FINAL"]
+
+PHASE_COLLECTION = "join-attribute-collection"
+PHASE_FILTER = "filter-dissemination"
+PHASE_FINAL = "final-result"
+
+_REPRESENTATIONS = ("quadtree", "raw", "zlib", "bzip2")
+
+
+@dataclass(frozen=True)
+class SensJoinConfig:
+    """Tunable parameters (defaults = the paper's choices)."""
+
+    dmax_bytes: int = constants.DEFAULT_TREECUT_DMAX_BYTES
+    subtree_limit_bytes: int = constants.DEFAULT_SUBTREE_FILTER_LIMIT_BYTES
+    representation: str = "quadtree"
+
+    def __post_init__(self) -> None:
+        if self.dmax_bytes < 0 or self.subtree_limit_bytes < 0:
+            raise ValueError("thresholds must be non-negative")
+        if self.representation not in _REPRESENTATIONS:
+            raise ValueError(
+                f"unknown representation {self.representation!r}; "
+                f"choose from {_REPRESENTATIONS}"
+            )
+
+
+@dataclass
+class _JoinAttrPayload:
+    """What a non-treecut node sends upward in step 1a."""
+
+    points: FrozenSet[FlaggedPoint]
+    tuple_count: int  # raw (pre-dedup) tuple count, for non-quadtree sizing
+    raw_rows: List[Tuple[float, ...]] = field(default_factory=list)
+
+
+@dataclass
+class _NodeState:
+    """Per-node protocol state surviving between the three wakeups."""
+
+    record: Optional[FullTupleRecord] = None
+    own_point: Optional[FlaggedPoint] = None
+    exited: bool = False  # treecut: done after step 1a
+    proxy_records: List[FullTupleRecord] = field(default_factory=list)
+    subtree_atts: Optional[FrozenSet[FlaggedPoint]] = None
+    finish_1a: float = 0.0
+    filter_received: Optional[FrozenSet[FlaggedPoint]] = None
+    filter_arrival: float = 0.0
+
+
+class SensJoin(JoinAlgorithm):
+    """The SENS-Join protocol (see module docstring)."""
+
+    name = "sens-join"
+
+    def __init__(
+        self,
+        config: SensJoinConfig = SensJoinConfig(),
+        tracer: Tracer = NullTracer(),
+    ):
+        self.config = config
+        self.tracer = tracer
+        if config.representation != "quadtree":
+            self.name = f"sens-join[{config.representation}]"
+
+    # -- payload sizing under the configured representation ---------------------
+
+    def _joinatts_bytes(self, fmt: TupleFormat, payload: _JoinAttrPayload) -> int:
+        representation = self.config.representation
+        if representation == "quadtree":
+            return fmt.encoded_points_bytes(payload.points)
+        if representation == "raw":
+            return payload.tuple_count * fmt.raw_join_tuple_bytes
+        raw = encode_raw_tuples(
+            (dict(zip(fmt.join_attributes, row)) for row in payload.raw_rows),
+            fmt.join_attributes,
+        )
+        return compressed_size(raw, representation)
+
+    def _filter_bytes(self, fmt: TupleFormat, points: FrozenSet[FlaggedPoint]) -> int:
+        if self.config.representation == "quadtree":
+            return fmt.encoded_points_bytes(points)
+        # Non-quadtree representations ship the filter as raw (quantized
+        # representative) tuples; compression never pays off at filter sizes.
+        return len(points) * fmt.raw_join_tuple_bytes
+
+    # -- main protocol -------------------------------------------------------------
+
+    def execute(self, context: ExecutionContext) -> JoinOutcome:
+        """Run one snapshot execution of the three-step protocol."""
+        network, tree = context.network, context.tree
+        fmt = context.tuple_format()
+        channel = network.channel
+        keep_raw = self.config.representation in ("zlib", "bzip2")
+
+        states: Dict[int, _NodeState] = {node_id: _NodeState() for node_id in tree.node_ids}
+        details: Dict[str, float] = {}
+
+        bs_points, bs_finish = self._collection_phase(
+            context, fmt, states, keep_raw, details
+        )
+
+        details["collection_finish_s"] = bs_finish
+        join_filter = build_join_filter(fmt, bs_points)
+        details["filter_points"] = float(len(join_filter))
+        details["filter_bytes"] = float(self._filter_bytes(fmt, join_filter))
+
+        self._filter_phase(context, fmt, states, join_filter, bs_finish, details)
+
+        result, response_time = self._final_phase(context, fmt, states, details)
+
+        # Three epoch-scheduled phases (collection, dissemination, final
+        # collection; Fig. 1's sleepUntilNextStep boundaries) plus the
+        # serialisation overflow accumulated along the critical path.
+        phase_overhead = 3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S
+        return JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            stats=network.stats,
+            response_time_s=phase_overhead + response_time,
+            details=details,
+        )
+
+    # -- step 1a -------------------------------------------------------------------
+
+    def _collection_phase(
+        self,
+        context: ExecutionContext,
+        fmt: TupleFormat,
+        states: Dict[int, _NodeState],
+        keep_raw: bool,
+        details: Dict[str, float],
+    ) -> Tuple[FrozenSet[FlaggedPoint], float]:
+        """Post-order collection with Treecut; returns the base station's
+        point set and the critical-path finish time."""
+        network, tree = context.network, context.tree
+        channel = network.channel
+        treecut_enabled = self.config.dmax_bytes > 0
+
+        # In-flight child payloads, keyed by sender.
+        full_up: Dict[int, List[FullTupleRecord]] = {}
+        atts_up: Dict[int, _JoinAttrPayload] = {}
+        bytes_up: Dict[int, int] = {}
+        proxies = 0
+        exited = 0
+
+        for node_id in tree.post_order():
+            state = states[node_id]
+            children = tree.children(node_id)
+            children_finish = max(
+                (states[child].finish_1a for child in children), default=0.0
+            )
+
+            received_full: List[FullTupleRecord] = []
+            received_atts: FrozenSet[FlaggedPoint] = frozenset()
+            received_tuple_count = 0
+            received_raw: List[Tuple[float, ...]] = []
+            all_children_full = True
+            received_bytes = 0
+            for child in children:
+                received_bytes += bytes_up.pop(child)
+                if child in full_up:
+                    received_full.extend(full_up.pop(child))
+                else:
+                    payload = atts_up.pop(child)
+                    received_atts = union_points(received_atts, payload.points)
+                    received_tuple_count += payload.tuple_count
+                    received_raw.extend(payload.raw_rows)
+                    all_children_full = False
+
+            state.record, flags = node_tuple(fmt, node_id)
+            own_bytes = fmt.full_tuple_bytes if state.record is not None else 0
+            if state.record is not None:
+                join_values = {
+                    name: state.record.values[name] for name in fmt.join_attributes
+                }
+                state.own_point = (flags, fmt.quantizer.encode(join_values))
+
+            if node_id == BASE_STATION_ID:
+                # The base station acts like a proxy for full tuples it
+                # received and keeps its children's points as SubtreeJoinAtts.
+                state.proxy_records = received_full
+                state.subtree_atts = received_atts
+                proxy_points = self._project_records(fmt, received_full)
+                bs_points = union_points(received_atts, proxy_points)
+                state.finish_1a = children_finish
+                details["treecut_proxies"] = float(proxies)
+                details["treecut_exited"] = float(exited)
+                return bs_points, children_finish
+
+            total_full_bytes = received_bytes + own_bytes
+            treecut_applies = (
+                treecut_enabled
+                and all_children_full
+                and total_full_bytes <= self.config.dmax_bytes
+            )
+            if treecut_applies:
+                records = received_full + ([state.record] if state.record else [])
+                payload_bytes = fmt.full_tuples_bytes(len(records))
+                channel.unicast(node_id, tree.parent(node_id), payload_bytes, PHASE_COLLECTION)
+                full_up[node_id] = records
+                bytes_up[node_id] = payload_bytes
+                state.exited = True
+                exited += 1
+                state.finish_1a = children_finish + channel.latency_for(payload_bytes)
+                self.tracer.emit(
+                    state.finish_1a, node_id, "treecut-exit",
+                    tuples=len(records), bytes=payload_bytes,
+                )
+                continue
+
+            # Act as proxy for complete tuples received from cut children.
+            state.proxy_records = received_full
+            if received_full:
+                proxies += 1
+                self.tracer.emit(
+                    children_finish, node_id, "proxy-store", tuples=len(received_full)
+                )
+            # Selective Filter Forwarding memory (Fig. 2 line 21): keep the
+            # children's join-attribute points, if they fit the budget.
+            if received_atts and self.config.subtree_limit_bytes > 0:
+                stored_size = fmt.encoded_points_bytes(received_atts)
+                if stored_size <= self.config.subtree_limit_bytes:
+                    state.subtree_atts = received_atts
+                    self.tracer.emit(
+                        children_finish, node_id, "subtree-store", bytes=stored_size
+                    )
+                else:
+                    # Memory cap exceeded (paper: happens "close to the root
+                    # only"); this node cannot prune the filter.
+                    state.subtree_atts = None
+                    self.tracer.emit(
+                        children_finish, node_id, "subtree-overflow", bytes=stored_size
+                    )
+            elif self.config.subtree_limit_bytes > 0:
+                state.subtree_atts = received_atts  # empty set, costs nothing
+            else:
+                state.subtree_atts = None
+
+            proxy_points = self._project_records(fmt, received_full)
+            points = union_points(received_atts, proxy_points)
+            if state.own_point is not None:
+                points = union_points(points, [state.own_point])
+            tuple_count = received_tuple_count + len(received_full) + (
+                1 if state.record is not None else 0
+            )
+            raw_rows = received_raw
+            if keep_raw:
+                raw_rows = list(received_raw)
+                for record in received_full:
+                    raw_rows.append(
+                        tuple(record.values[name] for name in fmt.join_attributes)
+                    )
+                if state.record is not None:
+                    raw_rows.append(
+                        tuple(state.record.values[name] for name in fmt.join_attributes)
+                    )
+            payload = _JoinAttrPayload(points, tuple_count, raw_rows)
+            payload_bytes = self._joinatts_bytes(fmt, payload)
+            channel.unicast(node_id, tree.parent(node_id), payload_bytes, PHASE_COLLECTION)
+            atts_up[node_id] = payload
+            bytes_up[node_id] = payload_bytes
+            state.finish_1a = children_finish + channel.latency_for(payload_bytes)
+            self.tracer.emit(
+                state.finish_1a, node_id, "send-join-atts",
+                points=len(points), bytes=payload_bytes,
+            )
+
+        raise ProtocolError("post-order traversal never reached the base station")
+
+    def _project_records(
+        self, fmt: TupleFormat, records: List[FullTupleRecord]
+    ) -> FrozenSet[FlaggedPoint]:
+        """pi_JoinAttr over proxied complete tuples (Fig. 2 line 22)."""
+        points: FrozenSet[FlaggedPoint] = frozenset()
+        for record in records:
+            join_values = {name: record.values[name] for name in fmt.join_attributes}
+            point = (record.flags, fmt.quantizer.encode(join_values))
+            points = union_points(points, [point])
+        return points
+
+    # -- step 1b -------------------------------------------------------------------
+
+    def _filter_phase(
+        self,
+        context: ExecutionContext,
+        fmt: TupleFormat,
+        states: Dict[int, _NodeState],
+        join_filter: FrozenSet[FlaggedPoint],
+        start_time: float,
+        details: Dict[str, float],
+    ) -> None:
+        """Pre-order dissemination with Selective Filter Forwarding."""
+        network, tree = context.network, context.tree
+        channel = network.channel
+        pruning_enabled = self.config.subtree_limit_bytes > 0
+
+        states[BASE_STATION_ID].filter_received = join_filter
+        states[BASE_STATION_ID].filter_arrival = start_time
+        broadcasts = 0
+        pruned_subtrees = 0
+
+        for node_id in tree.pre_order():
+            state = states[node_id]
+            if state.exited:
+                continue
+            incoming = state.filter_received
+            if incoming is None or not incoming:
+                continue
+            awake_children = [
+                child for child in tree.children(node_id) if not states[child].exited
+            ]
+            if not awake_children:
+                continue
+            if pruning_enabled and state.subtree_atts is not None:
+                subtree_filter = intersect_points(incoming, state.subtree_atts)
+            else:
+                # Memory cap exceeded (or pruning disabled): forward as is.
+                subtree_filter = incoming
+            if not subtree_filter:
+                pruned_subtrees += 1
+                self.tracer.emit(state.filter_arrival, node_id, "filter-pruned")
+                continue
+            payload_bytes = self._filter_bytes(fmt, subtree_filter)
+            channel.broadcast(node_id, awake_children, payload_bytes, PHASE_FILTER)
+            broadcasts += 1
+            self.tracer.emit(
+                state.filter_arrival, node_id, "filter-broadcast",
+                points=len(subtree_filter), bytes=payload_bytes,
+                children=len(awake_children),
+            )
+            arrival = state.filter_arrival + channel.latency_for(payload_bytes)
+            for child in awake_children:
+                states[child].filter_received = subtree_filter
+                states[child].filter_arrival = arrival
+        details["filter_broadcasts"] = float(broadcasts)
+        details["filter_pruned_subtrees"] = float(pruned_subtrees)
+
+    # -- step 2 --------------------------------------------------------------------
+
+    def _final_phase(
+        self,
+        context: ExecutionContext,
+        fmt: TupleFormat,
+        states: Dict[int, _NodeState],
+        details: Dict[str, float],
+    ):
+        """Post-order collection of the complete tuples that match the filter."""
+        network, tree = context.network, context.tree
+        channel = network.channel
+
+        carried: Dict[int, List[FullTupleRecord]] = {}
+        carried_bytes: Dict[int, int] = {}
+        finish: Dict[int, float] = {}
+        senders = 0
+
+        for node_id in tree.post_order():
+            state = states[node_id]
+            if state.exited:
+                continue
+            records: List[FullTupleRecord] = []
+            payload = 0
+            children_finish = state.filter_arrival
+            for child in tree.children(node_id):
+                if states[child].exited:
+                    continue
+                payload += carried_bytes.pop(child)
+                records.extend(carried.pop(child))
+                children_finish = max(children_finish, finish[child])
+
+            if node_id == BASE_STATION_ID:
+                # Locally stored proxy tuples join for free; the exact final
+                # join discards the ones that do not match.
+                records.extend(state.proxy_records)
+                carried[node_id] = records
+                finish[node_id] = children_finish
+                continue
+
+            matched = self._matching_records(fmt, state)
+            if matched:
+                senders += 1
+                self.tracer.emit(
+                    children_finish, node_id, "final-send", tuples=len(matched)
+                )
+            records.extend(matched)
+            payload += fmt.full_tuples_bytes(len(matched))
+            channel.unicast(node_id, tree.parent(node_id), payload, PHASE_FINAL)
+            carried[node_id] = records
+            carried_bytes[node_id] = payload
+            finish[node_id] = children_finish + channel.latency_for(payload)
+
+        arrived = carried[BASE_STATION_ID]
+        tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
+        for record in arrived:
+            for alias in fmt.aliases_of_flags(record.flags):
+                tuples_by_alias[alias].append(Row(record.node_id, dict(record.values)))
+        result = evaluate_join(context.query, tuples_by_alias, apply_selections=False)
+
+        contributing = result.all_contributing_nodes()
+        shipped = {record.node_id for record in arrived}
+        details["final_tuples_shipped"] = float(len(arrived))
+        details["final_senders"] = float(senders)
+        details["false_positives"] = float(len(shipped - contributing))
+        return result, finish[BASE_STATION_ID]
+
+    def _matching_records(
+        self, fmt: TupleFormat, state: _NodeState
+    ) -> List[FullTupleRecord]:
+        """Own + proxied tuples whose point is in the received filter."""
+        incoming = state.filter_received or frozenset()
+        if not incoming:
+            return []
+        filter_flags: Dict[int, int] = {}
+        for flags, z in incoming:
+            filter_flags[z] = filter_flags.get(z, 0) | flags
+        matched: List[FullTupleRecord] = []
+        if state.record is not None and state.own_point is not None:
+            own_flags, own_z = state.own_point
+            if filter_flags.get(own_z, 0) & own_flags:
+                matched.append(state.record)
+        for record in state.proxy_records:
+            join_values = {name: record.values[name] for name in fmt.join_attributes}
+            z = fmt.quantizer.encode(join_values)
+            if filter_flags.get(z, 0) & record.flags:
+                matched.append(record)
+        return matched

@@ -1,0 +1,707 @@
+"""Expression AST with three evaluation modes.
+
+The problem statement (§III) allows "join conditions that are arbitrary
+expressions over the join attributes" — theta-joins, similarity joins,
+distance predicates.  Every expression node therefore supports three
+evaluators, all used by the system:
+
+``evaluate(env)``
+    Exact scalar evaluation over one tuple combination; ``env`` maps
+    ``(alias, attribute)`` to a float.  Used in tests and for readability.
+``values(env)``
+    Exact *vectorised* evaluation; ``env`` maps columns to numpy arrays (all
+    of one broadcastable shape).  The base station uses this to join
+    thousands of tuples in bulk.
+``bounds(env)`` / ``masks(env)``
+    Conservative evaluation over quantization cells.  Numeric nodes map
+    interval environments to intervals (scalar: :class:`Interval`;
+    vectorised: ``(lo, hi)`` array pairs); predicate nodes return a
+    :class:`TriBool` (scalar) or a pair of boolean masks ``(possible,
+    definite)`` (vectorised).  ``possible`` is the filter-construction
+    criterion: a cell pair is pruned only when the predicate cannot hold
+    anywhere inside the cells.
+
+The invariant connecting the modes (checked by property tests): for any
+environment of point intervals, ``bounds`` degenerates to ``evaluate``, and
+for any environment of true intervals, the exact result of any contained
+point env lies within ``bounds`` / is consistent with ``masks``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import EvaluationError
+from .intervals import Interval, TriBool
+
+__all__ = [
+    "Expression",
+    "Column",
+    "Literal",
+    "Neg",
+    "Abs",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Distance",
+    "Predicate",
+    "Compare",
+    "And",
+    "Or",
+    "Not",
+    "Aggregate",
+    "ColumnRef",
+    "ScalarEnv",
+    "ArrayEnv",
+    "IntervalEnv",
+    "BoundsEnv",
+]
+
+#: A column is identified by (relation alias, attribute name).
+ColumnRef = Tuple[str, str]
+ScalarEnv = Mapping[ColumnRef, float]
+ArrayEnv = Mapping[ColumnRef, np.ndarray]
+IntervalEnv = Mapping[ColumnRef, Interval]
+#: Vectorised interval environment: column -> (lo array, hi array).
+BoundsEnv = Mapping[ColumnRef, Tuple[np.ndarray, np.ndarray]]
+
+
+# ---------------------------------------------------------------------------
+# Numeric expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class of numeric expression nodes."""
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        """Exact scalar value under ``env``."""
+        raise NotImplementedError
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        """Exact vectorised values under an array environment."""
+        raise NotImplementedError
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        """Conservative interval under an interval environment."""
+        raise NotImplementedError
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised conservative (lo, hi) arrays."""
+        raise NotImplementedError
+
+    def columns(self) -> Set[ColumnRef]:
+        """Every (alias, attribute) the expression references."""
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """Round-trippable SQL-dialect rendering."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.sql()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and self.sql() == other.sql()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.sql()))
+
+
+class Column(Expression):
+    """A reference like ``A.temp``."""
+
+    def __init__(self, alias: str, name: str):
+        if not alias or not name:
+            raise ValueError("column alias and name must be non-empty")
+        self.alias = alias
+        self.name = name
+
+    @property
+    def ref(self) -> ColumnRef:
+        """The (alias, attribute) pair."""
+        return (self.alias, self.name)
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise EvaluationError(f"no value bound for column {self.sql()}") from None
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise EvaluationError(f"no values bound for column {self.sql()}") from None
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise EvaluationError(f"no interval bound for column {self.sql()}") from None
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise EvaluationError(f"no bounds bound for column {self.sql()}") from None
+
+    def columns(self) -> Set[ColumnRef]:
+        return {self.ref}
+
+    def sql(self) -> str:
+        return f"{self.alias}.{self.name}"
+
+
+class Literal(Expression):
+    """A numeric constant."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return self.value
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return Interval.point(self.value)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        value = np.asarray(self.value)
+        return value, value
+
+    def columns(self) -> Set[ColumnRef]:
+        return set()
+
+    def sql(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+class Neg(Expression):
+    """Unary minus."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return -self.operand.evaluate(env)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return -self.operand.values(env)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return -self.operand.bounds(env)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.operand.bounds_arrays(env)
+        return -hi, -lo
+
+    def columns(self) -> Set[ColumnRef]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"-({self.operand.sql()})"
+
+
+class Abs(Expression):
+    """Absolute value; both ``ABS(e)`` and the paper's ``|e|`` parse here."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return abs(self.operand.evaluate(env))
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return np.abs(self.operand.values(env))
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return self.operand.bounds(env).abs()
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.operand.bounds_arrays(env)
+        new_lo = np.where(lo >= 0, lo, np.where(hi <= 0, -hi, 0.0))
+        new_hi = np.maximum(np.abs(lo), np.abs(hi))
+        return new_lo, new_hi
+
+    def columns(self) -> Set[ColumnRef]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"ABS({self.operand.sql()})"
+
+
+class _Binary(Expression):
+    """Shared plumbing for binary arithmetic nodes."""
+
+    symbol = "?"
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def columns(self) -> Set[ColumnRef]:
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.symbol} {self.right.sql()})"
+
+
+class Add(_Binary):
+    """Addition."""
+
+    symbol = "+"
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return self.left.evaluate(env) + self.right.evaluate(env)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return self.left.values(env) + self.right.values(env)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return self.left.bounds(env) + self.right.bounds(env)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        llo, lhi = self.left.bounds_arrays(env)
+        rlo, rhi = self.right.bounds_arrays(env)
+        return llo + rlo, lhi + rhi
+
+
+class Sub(_Binary):
+    """Subtraction."""
+
+    symbol = "-"
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return self.left.evaluate(env) - self.right.evaluate(env)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return self.left.values(env) - self.right.values(env)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return self.left.bounds(env) - self.right.bounds(env)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        llo, lhi = self.left.bounds_arrays(env)
+        rlo, rhi = self.right.bounds_arrays(env)
+        return llo - rhi, lhi - rlo
+
+
+class Mul(_Binary):
+    """Multiplication."""
+
+    symbol = "*"
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return self.left.values(env) * self.right.values(env)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return self.left.bounds(env) * self.right.bounds(env)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        llo, lhi = self.left.bounds_arrays(env)
+        rlo, rhi = self.right.bounds_arrays(env)
+        candidates = np.stack(
+            np.broadcast_arrays(llo * rlo, llo * rhi, lhi * rlo, lhi * rhi)
+        )
+        return candidates.min(axis=0), candidates.max(axis=0)
+
+
+class Div(_Binary):
+    """Division; interval bounds blow up to +-inf across zero denominators."""
+
+    symbol = "/"
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        denominator = self.right.evaluate(env)
+        if denominator == 0:
+            raise EvaluationError(f"division by zero in {self.sql()}")
+        return self.left.evaluate(env) / denominator
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        denominator = self.right.values(env)
+        if np.any(denominator == 0):
+            raise EvaluationError(f"division by zero in {self.sql()}")
+        return self.left.values(env) / denominator
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return self.left.bounds(env) / self.right.bounds(env)
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        llo, lhi = self.left.bounds_arrays(env)
+        rlo, rhi = self.right.bounds_arrays(env)
+        spans_zero = (rlo <= 0) & (rhi >= 0)
+        # Where the denominator avoids zero: reciprocal then multiply.
+        with np.errstate(divide="ignore"):
+            inv_lo = np.where(spans_zero, 1.0, 1.0 / np.where(spans_zero, 1.0, rhi))
+            inv_hi = np.where(spans_zero, 1.0, 1.0 / np.where(spans_zero, 1.0, rlo))
+        candidates = np.stack(
+            np.broadcast_arrays(llo * inv_lo, llo * inv_hi, lhi * inv_lo, lhi * inv_hi)
+        )
+        lo = candidates.min(axis=0)
+        hi = candidates.max(axis=0)
+        lo = np.where(spans_zero, -np.inf, lo)
+        hi = np.where(spans_zero, np.inf, hi)
+        return np.broadcast_to(lo, np.broadcast_shapes(lo.shape, hi.shape)).copy(), np.broadcast_to(
+            hi, np.broadcast_shapes(lo.shape, hi.shape)
+        ).copy()
+
+
+class Distance(Expression):
+    """``distance(x1, y1, x2, y2)`` — Euclidean distance (queries Q1/Q2)."""
+
+    def __init__(self, x1: Expression, y1: Expression, x2: Expression, y2: Expression):
+        self.x1, self.y1, self.x2, self.y2 = x1, y1, x2, y2
+
+    def _parts(self) -> Sequence[Expression]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def evaluate(self, env: ScalarEnv) -> float:
+        dx = self.x1.evaluate(env) - self.x2.evaluate(env)
+        dy = self.y1.evaluate(env) - self.y2.evaluate(env)
+        return math.hypot(dx, dy)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        dx = self.x1.values(env) - self.x2.values(env)
+        dy = self.y1.values(env) - self.y2.values(env)
+        return np.hypot(dx, dy)
+
+    def bounds(self, env: IntervalEnv) -> Interval:
+        return Interval.distance(
+            self.x1.bounds(env), self.y1.bounds(env), self.x2.bounds(env), self.y2.bounds(env)
+        )
+
+    def bounds_arrays(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        def axis_square(a: Expression, b: Expression) -> Tuple[np.ndarray, np.ndarray]:
+            alo, ahi = a.bounds_arrays(env)
+            blo, bhi = b.bounds_arrays(env)
+            dlo = alo - bhi
+            dhi = ahi - blo
+            sq_lo = np.where(dlo >= 0, dlo * dlo, np.where(dhi <= 0, dhi * dhi, 0.0))
+            sq_hi = np.maximum(dlo * dlo, dhi * dhi)
+            return sq_lo, sq_hi
+
+        x_lo, x_hi = axis_square(self.x1, self.x2)
+        y_lo, y_hi = axis_square(self.y1, self.y2)
+        return np.sqrt(x_lo + y_lo), np.sqrt(x_hi + y_hi)
+
+    def columns(self) -> Set[ColumnRef]:
+        result: Set[ColumnRef] = set()
+        for part in self._parts():
+            result |= part.columns()
+        return result
+
+    def sql(self) -> str:
+        inner = ", ".join(part.sql() for part in self._parts())
+        return f"distance({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class of boolean nodes."""
+
+    def evaluate(self, env: ScalarEnv) -> bool:
+        """Exact truth value under a scalar environment."""
+        raise NotImplementedError
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        """Exact vectorised truth values (bool array)."""
+        raise NotImplementedError
+
+    def tribool(self, env: IntervalEnv) -> TriBool:
+        """Three-valued outcome under an interval environment."""
+        raise NotImplementedError
+
+    def masks(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(possible, definite)`` boolean masks."""
+        raise NotImplementedError
+
+    def columns(self) -> Set[ColumnRef]:
+        """Every column referenced."""
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """Round-trippable rendering."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.sql()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and self.sql() == other.sql()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.sql()))
+
+
+class Compare(Predicate):
+    """A comparison ``left OP right`` with OP in <, <=, >, >=, =, !=."""
+
+    OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in self.OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: ScalarEnv) -> bool:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        return self._compare_scalar(lhs, rhs)
+
+    def _compare_scalar(self, lhs: float, rhs: float) -> bool:
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        if self.op == "=":
+            return lhs == rhs
+        return lhs != rhs
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        lhs = self.left.values(env)
+        rhs = self.right.values(env)
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        if self.op == "=":
+            return lhs == rhs
+        return lhs != rhs
+
+    def tribool(self, env: IntervalEnv) -> TriBool:
+        lhs = self.left.bounds(env)
+        rhs = self.right.bounds(env)
+        if self.op == "<":
+            return lhs.lt(rhs)
+        if self.op == "<=":
+            return lhs.le(rhs)
+        if self.op == ">":
+            return lhs.gt(rhs)
+        if self.op == ">=":
+            return lhs.ge(rhs)
+        if self.op == "=":
+            return lhs.eq(rhs)
+        return lhs.ne(rhs)
+
+    def masks(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        llo, lhi = self.left.bounds_arrays(env)
+        rlo, rhi = self.right.bounds_arrays(env)
+        if self.op == "<":
+            possible = llo < rhi
+            definite = lhi < rlo
+        elif self.op == "<=":
+            possible = llo <= rhi
+            definite = lhi <= rlo
+        elif self.op == ">":
+            possible = lhi > rlo
+            definite = llo > rhi
+        elif self.op == ">=":
+            possible = lhi >= rlo
+            definite = llo >= rhi
+        elif self.op == "=":
+            possible = (llo <= rhi) & (rlo <= lhi)
+            definite = (llo == lhi) & (rlo == rhi) & (llo == rlo)
+        else:  # !=
+            possible = ~((llo == lhi) & (rlo == rhi) & (llo == rlo))
+            definite = (lhi < rlo) | (rhi < llo)
+        possible, definite = np.broadcast_arrays(possible, definite)
+        return possible.copy(), definite.copy()
+
+    def columns(self) -> Set[ColumnRef]:
+        return self.left.columns() | self.right.columns()
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} {self.op} {self.right.sql()}"
+
+
+class And(Predicate):
+    """Conjunction of two or more predicates."""
+
+    def __init__(self, *parts: Predicate):
+        if len(parts) < 2:
+            raise ValueError("And needs at least two operands")
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: ScalarEnv) -> bool:
+        return all(part.evaluate(env) for part in self.parts)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        result = self.parts[0].values(env)
+        for part in self.parts[1:]:
+            result = result & part.values(env)
+        return result
+
+    def tribool(self, env: IntervalEnv) -> TriBool:
+        result = self.parts[0].tribool(env)
+        for part in self.parts[1:]:
+            result = result & part.tribool(env)
+        return result
+
+    def masks(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        possible, definite = self.parts[0].masks(env)
+        for part in self.parts[1:]:
+            p, d = part.masks(env)
+            possible = possible & p
+            definite = definite & d
+        return possible, definite
+
+    def columns(self) -> Set[ColumnRef]:
+        result: Set[ColumnRef] = set()
+        for part in self.parts:
+            result |= part.columns()
+        return result
+
+    def sql(self) -> str:
+        return " AND ".join(
+            f"({part.sql()})" if isinstance(part, Or) else part.sql() for part in self.parts
+        )
+
+
+class Or(Predicate):
+    """Disjunction of two or more predicates."""
+
+    def __init__(self, *parts: Predicate):
+        if len(parts) < 2:
+            raise ValueError("Or needs at least two operands")
+        self.parts = tuple(parts)
+
+    def evaluate(self, env: ScalarEnv) -> bool:
+        return any(part.evaluate(env) for part in self.parts)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        result = self.parts[0].values(env)
+        for part in self.parts[1:]:
+            result = result | part.values(env)
+        return result
+
+    def tribool(self, env: IntervalEnv) -> TriBool:
+        result = self.parts[0].tribool(env)
+        for part in self.parts[1:]:
+            result = result | part.tribool(env)
+        return result
+
+    def masks(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        possible, definite = self.parts[0].masks(env)
+        for part in self.parts[1:]:
+            p, d = part.masks(env)
+            possible = possible | p
+            definite = definite | d
+        return possible, definite
+
+    def columns(self) -> Set[ColumnRef]:
+        result: Set[ColumnRef] = set()
+        for part in self.parts:
+            result |= part.columns()
+        return result
+
+    def sql(self) -> str:
+        return " OR ".join(part.sql() for part in self.parts)
+
+
+class Not(Predicate):
+    """Logical negation."""
+
+    def __init__(self, operand: Predicate):
+        self.operand = operand
+
+    def evaluate(self, env: ScalarEnv) -> bool:
+        return not self.operand.evaluate(env)
+
+    def values(self, env: ArrayEnv) -> np.ndarray:
+        return ~self.operand.values(env)
+
+    def tribool(self, env: IntervalEnv) -> TriBool:
+        return self.operand.tribool(env).negate()
+
+    def masks(self, env: BoundsEnv) -> Tuple[np.ndarray, np.ndarray]:
+        possible, definite = self.operand.masks(env)
+        return ~definite, ~possible
+
+    def columns(self) -> Set[ColumnRef]:
+        return self.operand.columns()
+
+    def sql(self) -> str:
+        return f"NOT ({self.operand.sql()})"
+
+
+# ---------------------------------------------------------------------------
+# Aggregates (SELECT list only)
+# ---------------------------------------------------------------------------
+
+
+class Aggregate:
+    """An aggregate over the join result, e.g. ``MIN(distance(...))`` (Q1).
+
+    Aggregates never appear inside WHERE; they reduce the final result rows
+    at the base station.  ``COUNT`` accepts ``*`` (operand ``None``).
+    """
+
+    FUNCS = ("MIN", "MAX", "AVG", "SUM", "COUNT")
+
+    def __init__(self, func: str, operand: Expression | None):
+        func = func.upper()
+        if func not in self.FUNCS:
+            raise ValueError(f"unknown aggregate function {func!r}")
+        if operand is None and func != "COUNT":
+            raise ValueError(f"{func} requires an operand ({func}(*) is not valid)")
+        self.func = func
+        self.operand = operand
+
+    def apply(self, per_row_values: np.ndarray | Sequence[float], row_count: int) -> float:
+        """Reduce the per-row expression values of the join result."""
+        if self.func == "COUNT":
+            return float(row_count)
+        data = np.asarray(per_row_values, dtype=float)
+        if data.size == 0:
+            raise EvaluationError(f"{self.func} over an empty join result")
+        if self.func == "MIN":
+            return float(data.min())
+        if self.func == "MAX":
+            return float(data.max())
+        if self.func == "AVG":
+            return float(data.mean())
+        return float(data.sum())
+
+    def columns(self) -> Set[ColumnRef]:
+        """Columns referenced by the operand (empty for COUNT(*))."""
+        return self.operand.columns() if self.operand is not None else set()
+
+    def sql(self) -> str:
+        """Round-trippable rendering."""
+        inner = "*" if self.operand is None else self.operand.sql()
+        return f"{self.func}({inner})"
+
+    def __repr__(self) -> str:
+        return f"<Aggregate {self.sql()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Aggregate) and self.sql() == other.sql()
+
+    def __hash__(self) -> int:
+        return hash(("Aggregate", self.sql()))

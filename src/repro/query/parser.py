@@ -1,0 +1,432 @@
+"""Parser for the TinyDB-style SQL dialect of the paper.
+
+Grammar (§III problem statement, extended with the notation the paper's own
+example queries use)::
+
+    query       := SELECT select_list FROM from_list [WHERE predicate] mode
+    select_list := '*' | select_item (',' select_item)*
+    select_item := (aggregate | expr) [AS ident]
+    aggregate   := (MIN|MAX|AVG|SUM|COUNT) '(' (expr | '*') ')'
+    from_list   := relation (',' relation)*
+    relation    := ident [ident]              -- name + optional alias
+    mode        := ONCE | SAMPLE PERIOD number
+    predicate   := and_term (OR and_term)*
+    and_term    := not_term (AND not_term)*
+    not_term    := NOT not_term | comparison | '(' predicate ')'
+    comparison  := expr ('<'|'<='|'>'|'>='|'='|'!='|'<>') expr
+    expr        := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := '-' factor | atom
+    atom        := number | column | call | '(' expr ')' | '|' expr '|'
+    call        := ident '(' expr (',' expr)* ')'
+    column      := ident '.' ident | ident   -- bare names bind if FROM has
+                                             -- exactly one relation
+
+Notable dialect features straight from the paper's queries:
+
+* ``|expr|`` absolute-value bars (Q2: ``|A.temp - B.temp| < 0.3``);
+* the ``distance(x1, y1, x2, y2)`` builtin (Q1, Q2);
+* the TinyDB temporal clauses ``ONCE`` and ``SAMPLE PERIOD x`` [18];
+* ``SELECT *`` (expanded against a sensor catalogue when one is supplied).
+
+``(`` after NOT/WHERE is ambiguous between predicate grouping and arithmetic
+grouping; the parser resolves it by backtracking (try predicate, fall back to
+comparison), which a couple of nasty tests pin down.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.sensors import SensorCatalog
+from ..errors import ParseError
+from .expressions import (
+    Abs,
+    Add,
+    Aggregate,
+    And,
+    Column,
+    Compare,
+    Distance,
+    Div,
+    Expression,
+    Literal,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    Predicate,
+    Sub,
+)
+from .query import JoinQuery, Once, SamplePeriod, SelectItem
+
+__all__ = ["parse_query", "tokenize", "Token"]
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "ONCE",
+    "SAMPLE",
+    "PERIOD",
+    "MIN",
+    "MAX",
+    "AVG",
+    "SUM",
+    "COUNT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|<>|[<>=+\-*/(),.|*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # "number" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split the query text into tokens; raises ParseError on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r} at offset {position}",
+                position,
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        text = match.group()
+        if match.lastgroup == "ident":
+            upper = text.upper()
+            kind = "keyword" if upper in _KEYWORDS else "ident"
+            tokens.append(Token(kind, upper if kind == "keyword" else text, position))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", text, position))
+        else:
+            tokens.append(Token("op", text, position))
+        position = match.end()
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser with explicit backtracking support."""
+
+    def __init__(self, tokens: Sequence[Token], relations: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+        # Filled while parsing FROM; needed to bind bare column names.
+        self._relations = relations
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._current
+        wanted = text if text is not None else kind
+        raise ParseError(
+            f"expected {wanted!r} but found {token.text or 'end of input'!r} "
+            f"at offset {token.position}",
+            token.position,
+        )
+
+    def _mark(self) -> int:
+        return self._index
+
+    def _reset(self, mark: int) -> None:
+        self._index = mark
+
+    # -- grammar: query ---------------------------------------------------------
+
+    def parse_query(self, catalog: Optional[SensorCatalog]) -> JoinQuery:
+        """Parse a full query (the grammar's start symbol)."""
+        self._expect("keyword", "SELECT")
+        star = self._accept("op", "*") is not None
+        select_items: List[SelectItem] = []
+        if not star:
+            select_items.append(self._select_item())
+            while self._accept("op", ","):
+                select_items.append(self._select_item())
+        self._expect("keyword", "FROM")
+        self._from_list()
+        where: Optional[Predicate] = None
+        if self._accept("keyword", "WHERE"):
+            where = self._predicate()
+        mode = self._mode()
+        self._expect("eof")
+        if star:
+            if catalog is None:
+                raise ParseError(
+                    "SELECT * requires a sensor catalogue to expand against; "
+                    "pass catalog= to parse_query()"
+                )
+            for _, alias in self._relations:
+                for name in catalog.names:
+                    select_items.append(SelectItem(Column(alias, name)))
+        query = JoinQuery(select_items, self._relations, where, mode)
+        if catalog is not None:
+            query.validate_attributes(catalog)
+        return query
+
+    def _select_item(self) -> SelectItem:
+        payload: Expression | Aggregate
+        token = self._current
+        if token.kind == "keyword" and token.text in Aggregate.FUNCS:
+            self._advance()
+            self._expect("op", "(")
+            if token.text == "COUNT" and self._accept("op", "*"):
+                operand: Optional[Expression] = None
+            else:
+                operand = self._expression()
+            self._expect("op", ")")
+            payload = Aggregate(token.text, operand)
+        else:
+            payload = self._expression()
+        label = None
+        if self._accept("keyword", "AS"):
+            label = self._expect("ident").text
+        return SelectItem(payload, label)
+
+    def _from_list(self) -> None:
+        # Bare-column binding in the SELECT list used pre-scanned relations
+        # (see parse_query); the authoritative parse rebuilds the list.
+        self._relations.clear()
+        self._from_relation()
+        while self._accept("op", ","):
+            self._from_relation()
+
+    def _from_relation(self) -> None:
+        name = self._expect("ident").text
+        alias_token = self._accept("ident")
+        alias = alias_token.text if alias_token is not None else name
+        self._relations.append((name, alias))
+
+    def _mode(self):
+        if self._accept("keyword", "ONCE"):
+            return Once()
+        if self._accept("keyword", "SAMPLE"):
+            self._expect("keyword", "PERIOD")
+            number = self._expect("number")
+            return SamplePeriod(float(number.text))
+        token = self._current
+        raise ParseError(
+            f"expected ONCE or SAMPLE PERIOD at offset {token.position}", token.position
+        )
+
+    # -- grammar: predicates ------------------------------------------------------
+
+    def _predicate(self) -> Predicate:
+        parts = [self._and_term()]
+        while self._accept("keyword", "OR"):
+            parts.append(self._and_term())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def _and_term(self) -> Predicate:
+        parts = [self._not_term()]
+        while self._accept("keyword", "AND"):
+            parts.append(self._not_term())
+        return parts[0] if len(parts) == 1 else And(*parts)
+
+    def _not_term(self) -> Predicate:
+        if self._accept("keyword", "NOT"):
+            return Not(self._not_term())
+        if self._check("op", "("):
+            # Ambiguous: '(' may open a grouped predicate or an arithmetic
+            # sub-expression of a comparison.  Try the predicate reading
+            # first; on failure (or if a comparison operator follows the
+            # closing paren) fall back to parsing a comparison.
+            mark = self._mark()
+            try:
+                self._advance()  # consume '('
+                inner = self._predicate()
+                self._expect("op", ")")
+                if self._current.kind == "op" and self._current.text in (
+                    "<", "<=", ">", ">=", "=", "!=", "<>", "+", "-", "*", "/",
+                ):
+                    raise ParseError("grouped predicate followed by operator", None)
+                return inner
+            except ParseError:
+                self._reset(mark)
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        left = self._expression()
+        token = self._current
+        if token.kind == "op" and token.text in ("<", "<=", ">", ">=", "=", "!=", "<>"):
+            self._advance()
+            op = "!=" if token.text == "<>" else token.text
+            right = self._expression()
+            return Compare(op, left, right)
+        raise ParseError(
+            f"expected a comparison operator at offset {token.position}", token.position
+        )
+
+    # -- grammar: expressions -------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        node = self._term()
+        while True:
+            if self._accept("op", "+"):
+                node = Add(node, self._term())
+            elif self._accept("op", "-"):
+                node = Sub(node, self._term())
+            else:
+                return node
+
+    def _term(self) -> Expression:
+        node = self._factor()
+        while True:
+            if self._accept("op", "*"):
+                node = Mul(node, self._factor())
+            elif self._accept("op", "/"):
+                node = Div(node, self._factor())
+            else:
+                return node
+
+    def _factor(self) -> Expression:
+        if self._accept("op", "-"):
+            return Neg(self._factor())
+        return self._atom()
+
+    def _atom(self) -> Expression:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return Literal(float(token.text))
+        if self._accept("op", "("):
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        if self._accept("op", "|"):
+            inner = self._expression()
+            self._expect("op", "|")
+            return Abs(inner)
+        if token.kind == "ident" or (token.kind == "keyword" and token.text in ("MIN", "MAX")):
+            return self._column_or_call()
+        raise ParseError(
+            f"expected a value at offset {token.position}, found {token.text!r}",
+            token.position,
+        )
+
+    def _column_or_call(self) -> Expression:
+        name_token = self._advance()
+        name = name_token.text
+        if self._accept("op", "("):
+            arguments = [self._expression()]
+            while self._accept("op", ","):
+                arguments.append(self._expression())
+            self._expect("op", ")")
+            return self._builtin(name, arguments, name_token.position)
+        if self._accept("op", "."):
+            attribute = self._expect("ident").text
+            return Column(name, attribute)
+        # Bare attribute: legal only with an unambiguous FROM clause.
+        if len(self._relations) == 1:
+            return Column(self._relations[0][1], name)
+        raise ParseError(
+            f"bare column {name!r} is ambiguous with {len(self._relations)} "
+            f"relations in FROM; qualify it as alias.{name}",
+            name_token.position,
+        )
+
+    def _builtin(self, name: str, arguments: List[Expression], position: int) -> Expression:
+        lowered = name.lower()
+        if lowered == "distance":
+            if len(arguments) != 4:
+                raise ParseError(
+                    f"distance() takes 4 arguments (x1, y1, x2, y2), got {len(arguments)}",
+                    position,
+                )
+            return Distance(*arguments)
+        if lowered == "abs":
+            if len(arguments) != 1:
+                raise ParseError(f"abs() takes 1 argument, got {len(arguments)}", position)
+            return Abs(arguments[0])
+        raise ParseError(f"unknown function {name!r}", position)
+
+
+def parse_query(source: str, catalog: Optional[SensorCatalog] = None) -> JoinQuery:
+    """Parse the dialect into a :class:`~repro.query.query.JoinQuery`.
+
+    Parameters
+    ----------
+    source:
+        The query text (case-insensitive keywords).
+    catalog:
+        Optional sensor catalogue; when given, ``SELECT *`` is expanded
+        against it and every referenced attribute is validated.
+
+    Examples
+    --------
+    The paper's Q1::
+
+        SELECT MIN(distance(A.x, A.y, B.x, B.y))
+        FROM Sensors A, Sensors B
+        WHERE A.temp - B.temp > 10.0
+        ONCE
+    """
+    tokens = tokenize(source)
+    # The FROM clause appears after the SELECT list, but bare-column binding
+    # inside the SELECT list needs the relations.  Two passes: pre-scan for
+    # FROM to collect (name, alias) pairs, then parse for real with that
+    # knowledge seeded in (the real FROM parse rebuilds the same list).
+    relations = _prescan_from(tokens)
+    parser = _Parser(tokens, relations)
+    return parser.parse_query(catalog)
+
+
+def _prescan_from(tokens: Sequence[Token]) -> List[Tuple[str, str]]:
+    """Locate the top-level FROM clause and collect its relation list."""
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.kind == "op" and token.text == "(":
+            depth += 1
+        elif token.kind == "op" and token.text == ")":
+            depth -= 1
+        elif token.kind == "keyword" and token.text == "FROM" and depth == 0:
+            scanner = _Parser(tokens, [])
+            scanner._index = index + 1
+            scanner._from_list()
+            return scanner._relations
+    raise ParseError("query has no FROM clause")

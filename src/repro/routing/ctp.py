@@ -1,0 +1,179 @@
+"""Collection-tree construction and repair (CTP-style).
+
+§III: "A routing tree is maintained in a distributed fashion: Based on a
+periodic beaconing mechanism, each node maintains a parent that minimizes the
+hop count to the base station (for details cf. TinyOS, collection-tree
+protocol)."
+
+The converged result of that protocol is a shortest-path (min-hop) tree
+rooted at the base station.  :func:`build_tree` computes it directly with a
+BFS; :class:`BeaconProtocol <repro.routing.beacons.BeaconProtocol>` produces
+the same structure through actual message exchange.
+
+Among equally good parents (same hop count) CTP picks by link quality; our
+unit-disk links are all perfect, so a tie-breaking policy stands in:
+
+``"random"``    — seeded random choice (default; gives realistic, varied
+                  child distributions across seeds),
+``"lowest_id"`` — deterministic canonical tree (tests),
+``"nearest"``   — the geometrically closest candidate (strongest-link proxy).
+
+Repair (§IV-F) is re-convergence: after a node or link failure,
+:func:`repair_tree` recomputes parents over the surviving graph.  Nodes cut
+off from the base station are reported so the caller (the query runner) can
+re-execute the query without them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional, Set
+
+from ..errors import RoutingError
+from ..sim.network import Network
+from ..sim.node import BASE_STATION_ID
+from .tree import RoutingTree
+
+__all__ = ["build_tree", "repair_tree", "RepairReport", "TieBreak"]
+
+TieBreak = Literal["random", "lowest_id", "nearest"]
+
+
+def _hop_counts(network: Network) -> Dict[int, int]:
+    """BFS hop count from the base station over the alive connectivity graph."""
+    hops = {BASE_STATION_ID: 0}
+    queue = deque([BASE_STATION_ID])
+    while queue:
+        current = queue.popleft()
+        for neighbour in network.neighbours(current):
+            if neighbour not in hops:
+                hops[neighbour] = hops[current] + 1
+                queue.append(neighbour)
+    return hops
+
+
+def _pick_parent(
+    network: Network,
+    node_id: int,
+    candidates: List[int],
+    tie_break: TieBreak,
+    rng: random.Random,
+) -> int:
+    if tie_break == "lowest_id":
+        return min(candidates)
+    if tie_break == "nearest":
+        node = network.nodes[node_id]
+        return min(
+            candidates,
+            key=lambda cand: (node.distance_to(network.nodes[cand]), cand),
+        )
+    return rng.choice(sorted(candidates))
+
+
+def build_tree(
+    network: Network,
+    tie_break: TieBreak = "random",
+    seed: int = 0,
+    require_full_coverage: bool = True,
+) -> RoutingTree:
+    """Build the converged min-hop collection tree for ``network``.
+
+    Parameters
+    ----------
+    network:
+        The deployment; only alive nodes and up links are considered.
+    tie_break:
+        How to choose among parents with equal hop count (see module doc).
+    seed:
+        Seed for the ``"random"`` tie-break (ignored otherwise).
+    require_full_coverage:
+        When True (default) a :class:`~repro.errors.RoutingError` is raised
+        if some alive node cannot reach the base station; when False those
+        nodes are silently excluded (used during repair).
+    """
+    hops = _hop_counts(network)
+    alive_ids = {
+        node_id for node_id, node in network.nodes.items() if node.alive
+    }
+    unreachable = alive_ids - set(hops)
+    if unreachable and require_full_coverage:
+        sample = sorted(unreachable)[:5]
+        raise RoutingError(
+            f"{len(unreachable)} alive node(s) cannot reach the base "
+            f"station, e.g. {sample}; the network is partitioned"
+        )
+    rng = random.Random(seed)
+    parents: Dict[int, int] = {}
+    for node_id in sorted(hops):
+        if node_id == BASE_STATION_ID:
+            continue
+        my_hops = hops[node_id]
+        candidates = [
+            neighbour
+            for neighbour in network.neighbours(node_id)
+            if hops.get(neighbour, float("inf")) == my_hops - 1
+        ]
+        if not candidates:
+            raise RoutingError(
+                f"node {node_id} at hop {my_hops} has no neighbour at hop "
+                f"{my_hops - 1}; inconsistent connectivity graph"
+            )
+        parents[node_id] = _pick_parent(network, node_id, candidates, tie_break, rng)
+    return RoutingTree(parents)
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of a tree repair after failures."""
+
+    tree: RoutingTree
+    #: Alive nodes that are no longer connected to the base station.
+    orphaned: frozenset[int]
+    #: Nodes whose parent changed relative to the pre-failure tree.
+    reparented: frozenset[int]
+
+
+def repair_tree(
+    network: Network,
+    old_tree: Optional[RoutingTree] = None,
+    tie_break: TieBreak = "random",
+    seed: int = 0,
+) -> RepairReport:
+    """Re-converge the routing tree after node/link failures (§IV-F).
+
+    CTP keeps working routes untouched and only re-acquires parents along
+    broken paths; the converged result is again a min-hop tree over the
+    surviving component.  We compute that converged tree, preferring each
+    node's old parent whenever it is still an optimal choice (which is what
+    "do not repair what is not broken" converges to).
+    """
+    hops = _hop_counts(network)
+    alive_ids = {node_id for node_id, node in network.nodes.items() if node.alive}
+    orphaned = frozenset(alive_ids - set(hops) - {BASE_STATION_ID})
+    rng = random.Random(seed)
+    old_parents = old_tree.as_parent_map() if old_tree is not None else {}
+    parents: Dict[int, int] = {}
+    reparented: Set[int] = set()
+    for node_id in sorted(hops):
+        if node_id == BASE_STATION_ID:
+            continue
+        my_hops = hops[node_id]
+        candidates = [
+            neighbour
+            for neighbour in network.neighbours(node_id)
+            if hops.get(neighbour, float("inf")) == my_hops - 1
+        ]
+        old_parent = old_parents.get(node_id)
+        if old_parent is not None and old_parent in candidates:
+            parents[node_id] = old_parent
+        else:
+            parents[node_id] = _pick_parent(network, node_id, candidates, "random", rng)
+            if old_parent is not None:
+                reparented.add(node_id)
+    return RepairReport(
+        tree=RoutingTree(parents),
+        orphaned=orphaned,
+        reparented=frozenset(reparented),
+    )

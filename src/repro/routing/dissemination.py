@@ -1,0 +1,49 @@
+"""Query dissemination by broadcast flooding.
+
+§III: "A query is input at the base station.  The network then disseminates
+the query by a simple broadcast flooding."  Every node that hears the query
+for the first time rebroadcasts it exactly once, so a flood over *n*
+reachable nodes costs *n* transmission bursts of the query's size (the base
+station's initial broadcast plus one rebroadcast per sensor node).
+
+Both join methods pay exactly this cost, so the comparison plots exclude it;
+it is recorded under its own phase label (``"query-dissemination"``) and can
+be included via the report's phase filters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Set
+
+from ..sim.network import Network
+from ..sim.node import BASE_STATION_ID
+
+__all__ = ["flood_query", "QUERY_DISSEMINATION_PHASE"]
+
+QUERY_DISSEMINATION_PHASE = "query-dissemination"
+
+
+def flood_query(network: Network, query_bytes: int, phase: str = QUERY_DISSEMINATION_PHASE) -> Set[int]:
+    """Flood a query of ``query_bytes`` from the base station.
+
+    Every reachable node rebroadcasts once (classic flooding with duplicate
+    suppression).  Returns the set of node ids that received the query.
+    Transmissions are charged through the network's channel under ``phase``.
+    """
+    if query_bytes < 0:
+        raise ValueError(f"negative query size: {query_bytes}")
+    reached: Set[int] = {BASE_STATION_ID}
+    if query_bytes == 0:
+        # Nothing to transmit, nothing propagates.
+        return reached
+    queue = deque([BASE_STATION_ID])
+    while queue:
+        sender = queue.popleft()
+        listeners = sorted(network.neighbours(sender))
+        network.channel.broadcast(sender, listeners, query_bytes, phase)
+        for listener in listeners:
+            if listener not in reached:
+                reached.add(listener)
+                queue.append(listener)
+    return reached

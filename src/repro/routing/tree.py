@@ -1,0 +1,184 @@
+"""Routing tree structure and traversals.
+
+Query results in the modelled system flow to the base station along a
+routing tree maintained by a CTP-like protocol (§III, "Query Processing").
+This module is the *structure*: an immutable-after-construction parent/child
+map rooted at the base station, with the traversal orders the join protocols
+need:
+
+* **post-order** (leaves first) for the collection phases — a node handles
+  its children's data before talking to its own parent (TAG-style
+  scheduling, [18]);
+* **pre-order / levels** (root first) for filter dissemination;
+* **descendant counts** for the per-node load analysis of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from ..errors import RoutingError
+from ..sim.node import BASE_STATION_ID
+
+__all__ = ["RoutingTree"]
+
+
+class RoutingTree:
+    """A rooted tree over node ids, root = base station.
+
+    Constructed from a ``child -> parent`` mapping.  The root must not appear
+    as a key.  Construction validates that the structure really is a tree
+    (no cycles, every node reaches the root).
+    """
+
+    def __init__(self, parents: Mapping[int, int], root: int = BASE_STATION_ID):
+        self.root = root
+        if root in parents:
+            raise RoutingError(f"root {root} must not have a parent")
+        self._parents: Dict[int, int] = dict(parents)
+        self._children: Dict[int, List[int]] = {root: []}
+        for child in self._parents:
+            self._children.setdefault(child, [])
+        for child, parent in sorted(self._parents.items()):
+            if parent not in self._children:
+                raise RoutingError(
+                    f"node {child} has parent {parent} which is not in the tree"
+                )
+            self._children[parent].append(child)
+        self._depths: Dict[int, int] = {}
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        """BFS from the root; also validates reachability (cycle detection)."""
+        self._depths = {self.root: 0}
+        queue = deque([self.root])
+        while queue:
+            current = queue.popleft()
+            for child in self._children[current]:
+                self._depths[child] = self._depths[current] + 1
+                queue.append(child)
+        unreachable = set(self._parents) - set(self._depths)
+        if unreachable:
+            sample = sorted(unreachable)[:5]
+            raise RoutingError(
+                f"{len(unreachable)} node(s) cannot reach the root "
+                f"(cycle or orphan), e.g. {sample}"
+            )
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Every node in the tree, including the root, sorted."""
+        return sorted(self._depths)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._depths
+
+    def __len__(self) -> int:
+        return len(self._depths)
+
+    def parent(self, node_id: int) -> int:
+        """Parent of ``node_id``; raises for the root."""
+        try:
+            return self._parents[node_id]
+        except KeyError:
+            raise RoutingError(f"node {node_id} has no parent (root or unknown)") from None
+
+    def children(self, node_id: int) -> Sequence[int]:
+        """Children of ``node_id`` (ascending id order, deterministic)."""
+        try:
+            return tuple(self._children[node_id])
+        except KeyError:
+            raise RoutingError(f"unknown node: {node_id}") from None
+
+    def depth(self, node_id: int) -> int:
+        """Hop count from the root (root = 0)."""
+        try:
+            return self._depths[node_id]
+        except KeyError:
+            raise RoutingError(f"unknown node: {node_id}") from None
+
+    def is_leaf(self, node_id: int) -> bool:
+        """True if the node has no children."""
+        return not self._children.get(node_id)
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        return max(self._depths.values())
+
+    # -- traversals -------------------------------------------------------------
+
+    def post_order(self) -> Iterator[int]:
+        """Children-before-parent order (collection schedule), iterative."""
+        stack: List[tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(self._children[node]):
+                    stack.append((child, False))
+
+    def pre_order(self) -> Iterator[int]:
+        """Parent-before-children order (dissemination schedule)."""
+        stack: List[int] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(self._children[node]):
+                stack.append(child)
+
+    def levels(self) -> List[List[int]]:
+        """Nodes grouped by depth: ``levels()[d]`` is every node at depth d."""
+        result: List[List[int]] = [[] for _ in range(self.height + 1)]
+        for node_id, depth in self._depths.items():
+            result[depth].append(node_id)
+        for level in result:
+            level.sort()
+        return result
+
+    def subtree(self, node_id: int) -> Iterator[int]:
+        """All nodes in the subtree rooted at ``node_id`` (pre-order)."""
+        if node_id not in self._depths:
+            raise RoutingError(f"unknown node: {node_id}")
+        stack = [node_id]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children[node]))
+
+    def descendant_counts(self) -> Dict[int, int]:
+        """Number of proper descendants of every node (Fig. 11 x-axis)."""
+        counts = {node_id: 0 for node_id in self._depths}
+        for node_id in self.post_order():
+            if node_id == self.root:
+                continue
+            counts[self._parents[node_id]] += counts[node_id] + 1
+        return counts
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """The node's ancestor chain, starting at the node, ending at the root."""
+        if node_id not in self._depths:
+            raise RoutingError(f"unknown node: {node_id}")
+        path = [node_id]
+        while path[-1] != self.root:
+            path.append(self._parents[path[-1]])
+        return path
+
+    # -- derived metrics ---------------------------------------------------------
+
+    def total_hops_to_root(self, node_ids: Iterable[int]) -> int:
+        """Sum of hop counts from the given nodes to the root.
+
+        A quick lower bound on the packets needed to collect one fixed-size
+        message from each of those nodes without aggregation.
+        """
+        return sum(self.depth(node_id) for node_id in node_ids)
+
+    def as_parent_map(self) -> Dict[int, int]:
+        """Copy of the underlying ``child -> parent`` mapping."""
+        return dict(self._parents)

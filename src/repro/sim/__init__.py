@@ -1,0 +1,49 @@
+"""Simulation substrate: DES kernel, nodes, radio, energy, deployment.
+
+This package replaces the paper's ns-2 testbed (see DESIGN.md, substitution
+table).  The public surface is re-exported here.
+"""
+
+from .energy import EnergyLedger, EnergyModel
+from .kernel import AllOf, Environment, Event, Interrupt, Process, Timeout
+from .network import (
+    DeploymentConfig,
+    Network,
+    deploy_clustered,
+    deploy_grid,
+    deploy_uniform,
+)
+from .node import BASE_STATION_ID, SensorNode
+from .radio import Channel, PacketFormat, Transmission
+from .replay import replay_collection_phase, replay_dissemination_phase
+from .stats import NodeLoad, TransmissionStats
+from .trace import ListTracer, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "BASE_STATION_ID",
+    "Channel",
+    "DeploymentConfig",
+    "EnergyLedger",
+    "EnergyModel",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "ListTracer",
+    "Network",
+    "NodeLoad",
+    "NullTracer",
+    "PacketFormat",
+    "Process",
+    "SensorNode",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+    "Transmission",
+    "TransmissionStats",
+    "deploy_clustered",
+    "deploy_grid",
+    "deploy_uniform",
+    "replay_collection_phase",
+    "replay_dissemination_phase",
+]

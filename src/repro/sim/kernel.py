@@ -1,0 +1,339 @@
+"""A small discrete-event simulation kernel.
+
+The SENS-Join paper evaluates on ns-2; this module provides the local
+substitute: a generator-based process-interaction kernel in the style of
+SimPy (which is not available in this environment).  Protocol code is written
+as Python generator functions that ``yield`` events:
+
+>>> env = Environment()
+>>> log = []
+>>> def proc(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(proc(env, "a", 2.0))
+>>> _ = env.process(proc(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+
+Supported primitives
+--------------------
+``Environment.timeout(delay)``
+    An event that fires ``delay`` time units in the future.
+``Environment.event()``
+    A bare event that some other process triggers via ``succeed``.
+``Environment.process(generator)``
+    Registers a process; the returned :class:`Process` is itself an event
+    that fires when the generator finishes (carrying its return value).
+``AllOf(env, events)``
+    Fires once every listed event has fired.
+
+Determinism
+-----------
+Events scheduled for the same time fire in insertion order (a monotonically
+increasing tiebreaker is part of the heap key), so simulations are exactly
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries whatever object the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event has three states: *pending* (created, not triggered),
+    *triggered* (scheduled to fire) and *processed* (its callbacks ran).
+    ``value`` carries the payload passed to :meth:`succeed` or the exception
+    passed to :meth:`fail`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None  # None = not triggered yet
+        self._processed = False
+
+    # -- state inspection --------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only valid once triggered)."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload of a succeeded event / exception of a failed one."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see the exception re-raised at their
+        ``yield`` statement.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; also an event that fires when the generator ends.
+
+    The generator may ``return value``; that value becomes the event payload
+    so parent processes can ``result = yield env.process(child(...))``.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "process() expects a generator (did you forget to call the "
+                "generator function?)"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        # Detach from whatever the process was waiting on.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+            self._target = None
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup)
+
+    # -- engine ------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process unsuccessfully.
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded {next_event!r}; processes must yield Event "
+                "instances (timeout, event, process, ...)"
+            )
+        if next_event._processed:
+            # The event already fired; resume immediately (at current time).
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when all of the given events have fired.
+
+    The payload is a list with the values of the child events, in the order
+    they were passed in.  If any child fails, this event fails with the first
+    failure.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event._processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._ok is not None:
+            return  # already failed
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class Environment:
+    """Holds the simulation clock and the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._next_id = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a process starting now."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._next_id += 1
+        heapq.heappush(self._queue, (self._now + delay, self._next_id, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event has been processed and
+            return its value (re-raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if target._ok:
+                return target._value
+            raise target._value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, deadline) if deadline != float("inf") else self._now
+        return None

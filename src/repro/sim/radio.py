@@ -1,0 +1,140 @@
+"""Link-layer model: packetization and the shared radio channel.
+
+The paper's cost metric is the number of link-layer transmissions given a
+maximum packet size (48 bytes by default, 124 bytes in the §VI-A study).  A
+payload of *n* bytes therefore costs ``ceil(n / max_packet)`` transmissions
+per hop.  :class:`PacketFormat` captures that rule; :class:`Channel` applies
+it on every hop, charging energy ledgers and the
+:class:`~repro.sim.stats.TransmissionStats` collector, and—when executed
+under the discrete-event kernel—imposing per-packet latency.
+
+A *broadcast* costs the sender one transmission burst regardless of how many
+neighbours listen; every listed receiver pays the receive cost.  This matters
+for Filter-Dissemination, where a node broadcasts the pruned filter once to
+all its children (§IV-C, Fig. 3: ``broadcast(SubtreeFilter)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from .. import constants
+from ..errors import SimulationError
+from .energy import EnergyLedger
+from .stats import TransmissionStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Environment
+
+__all__ = ["PacketFormat", "Transmission", "Channel"]
+
+
+@dataclass(frozen=True)
+class PacketFormat:
+    """Fixed maximum packet size; converts byte counts to packet counts."""
+
+    max_packet_bytes: int = constants.DEFAULT_MAX_PACKET_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_packet_bytes <= 0:
+            raise ValueError(
+                f"max_packet_bytes must be positive, got {self.max_packet_bytes}"
+            )
+
+    def packets_for(self, payload_bytes: int) -> int:
+        """Number of transmissions needed for ``payload_bytes`` on one hop.
+
+        Zero bytes means nothing is sent (zero packets); otherwise the count
+        is ``ceil(payload / max_packet)``.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        if payload_bytes == 0:
+            return 0
+        return math.ceil(payload_bytes / self.max_packet_bytes)
+
+    def bytes_for_packets(self, packets: int) -> int:
+        """Maximum payload that fits in ``packets`` transmissions."""
+        if packets < 0:
+            raise ValueError(f"negative packet count: {packets}")
+        return packets * self.max_packet_bytes
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """Record of one logical send (possibly fragmented into many packets)."""
+
+    sender: int
+    receivers: tuple[int, ...]
+    payload_bytes: int
+    packets: int
+    phase: str
+
+
+class Channel:
+    """Accounting layer every protocol hop goes through.
+
+    The channel does not route; callers name the receiver(s) explicitly (the
+    routing tree decides who talks to whom).  It enforces the packetization
+    rule, charges per-node energy ledgers, and records into the statistics
+    collector.  With an :class:`~repro.sim.kernel.Environment` attached, the
+    ``latency_for`` helper lets protocol processes model per-packet delay.
+    """
+
+    def __init__(
+        self,
+        packet_format: PacketFormat,
+        stats: TransmissionStats,
+        ledgers: dict[int, EnergyLedger],
+        hop_latency_s: float = constants.DEFAULT_HOP_LATENCY_S,
+        env: Optional["Environment"] = None,
+    ):
+        self.packet_format = packet_format
+        self.stats = stats
+        self.ledgers = ledgers
+        self.hop_latency_s = hop_latency_s
+        self.env = env
+        self.log: list[Transmission] = []
+
+    def _ledger(self, node_id: int) -> EnergyLedger:
+        ledger = self.ledgers.get(node_id)
+        if ledger is None:
+            raise SimulationError(f"no energy ledger for node {node_id}")
+        return ledger
+
+    def unicast(self, sender: int, receiver: int, payload_bytes: int, phase: str) -> int:
+        """Send ``payload_bytes`` from ``sender`` to ``receiver``.
+
+        Returns the number of packets transmitted (0 for an empty payload).
+        """
+        packets = self.packet_format.packets_for(payload_bytes)
+        if packets == 0:
+            return 0
+        self._ledger(sender).charge_tx(payload_bytes, packets)
+        self._ledger(receiver).charge_rx(payload_bytes, packets)
+        self.stats.record_tx(sender, phase, packets, payload_bytes)
+        self.stats.record_rx(receiver, phase, packets, payload_bytes)
+        self.log.append(Transmission(sender, (receiver,), payload_bytes, packets, phase))
+        return packets
+
+    def broadcast(
+        self, sender: int, receivers: Iterable[int], payload_bytes: int, phase: str
+    ) -> int:
+        """Broadcast to all ``receivers``: one tx burst, one rx per listener."""
+        receiver_ids = tuple(receivers)
+        packets = self.packet_format.packets_for(payload_bytes)
+        if packets == 0:
+            return 0
+        self._ledger(sender).charge_tx(payload_bytes, packets)
+        self.stats.record_tx(sender, phase, packets, payload_bytes)
+        for receiver in receiver_ids:
+            self._ledger(receiver).charge_rx(payload_bytes, packets)
+            self.stats.record_rx(receiver, phase, packets, payload_bytes)
+        self.log.append(Transmission(sender, receiver_ids, payload_bytes, packets, phase))
+        return packets
+
+    def latency_for(self, payload_bytes: int) -> float:
+        """Wall-clock duration of sending ``payload_bytes`` over one hop."""
+        return self.packet_format.packets_for(payload_bytes) * self.hop_latency_s

@@ -1,0 +1,119 @@
+"""Cross-validation of the analytic timing model through the DES kernel.
+
+The join protocols compute their response times analytically (per-node
+critical paths folded into the tree traversals).  This module recomputes the
+same quantity *independently*: it takes the channel's transmission log, spawns
+one kernel process per node, and lets the discrete-event machinery derive the
+phase's completion time — each node transmits only after all of its children
+have (collection phases), or after its parent's broadcast arrived
+(dissemination phases).
+
+Tests assert that the DES-derived times equal the analytic ones exactly;
+any divergence would mean the hand-rolled critical-path code and the
+simulated schedule disagree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List
+
+from ..errors import SimulationError
+from .kernel import Environment
+from .radio import Transmission
+
+__all__ = ["replay_collection_phase", "replay_dissemination_phase"]
+
+
+def _transmissions_by_sender(
+    transmissions: Iterable[Transmission], phase: str
+) -> Dict[int, List[Transmission]]:
+    by_sender: Dict[int, List[Transmission]] = defaultdict(list)
+    for transmission in transmissions:
+        if transmission.phase == phase:
+            by_sender[transmission.sender].append(transmission)
+    return by_sender
+
+
+def replay_collection_phase(
+    tree,
+    transmissions: Iterable[Transmission],
+    phase: str,
+    latency_for: Callable[[int], float],
+    participants: Iterable[int] | None = None,
+) -> float:
+    """DES completion time of an upward (post-order) phase.
+
+    Every participating node waits for all of its participating children,
+    then spends the serialisation latency of whatever it transmitted in
+    ``phase`` (zero if it sent nothing).  Returns the time at which the root
+    has heard from every child — the phase's critical path.
+
+    ``participants`` restricts the replay to a subset of nodes (e.g. the
+    non-exited nodes of SENS-Join's final phase); children outside the set
+    contribute no dependency.
+    """
+    by_sender = _transmissions_by_sender(transmissions, phase)
+    member = set(participants) if participants is not None else set(tree.node_ids)
+    env = Environment()
+    done = {node_id: env.event() for node_id in tree.node_ids if node_id in member}
+
+    def node_process(node_id: int):
+        child_events = [
+            done[child] for child in tree.children(node_id) if child in done
+        ]
+        if child_events:
+            yield env.all_of(child_events)
+        delay = sum(
+            latency_for(transmission.payload_bytes)
+            for transmission in by_sender.get(node_id, [])
+        )
+        if delay:
+            yield env.timeout(delay)
+        done[node_id].succeed(env.now)
+
+    for node_id in done:
+        env.process(node_process(node_id))
+    if tree.root not in done:
+        raise SimulationError("the root must participate in a collection phase")
+    return float(env.run(until=done[tree.root]))
+
+
+def replay_dissemination_phase(
+    tree,
+    transmissions: Iterable[Transmission],
+    phase: str,
+    latency_for: Callable[[int], float],
+) -> Dict[int, float]:
+    """DES arrival times of a downward (pre-order) broadcast phase.
+
+    The root broadcasts at time 0; every other broadcaster waits for its own
+    arrival first.  Returns node -> arrival time for every node that received
+    the phase's broadcasts (the root arrives at 0).
+    """
+    by_sender = _transmissions_by_sender(transmissions, phase)
+    env = Environment()
+    arrival = {tree.root: env.event()}
+    for sends in by_sender.values():
+        for transmission in sends:
+            for receiver in transmission.receivers:
+                arrival.setdefault(receiver, env.event())
+
+    def broadcaster(node_id: int):
+        yield arrival[node_id]
+        for transmission in by_sender.get(node_id, []):
+            yield env.timeout(latency_for(transmission.payload_bytes))
+            for receiver in transmission.receivers:
+                if not arrival[receiver].triggered:
+                    arrival[receiver].succeed(env.now)
+
+    for node_id in by_sender:
+        arrival.setdefault(node_id, env.event())
+        env.process(broadcaster(node_id))
+    arrival[tree.root].succeed(0.0)
+    env.run()
+    times: Dict[int, float] = {}
+    for node_id, event in arrival.items():
+        if event.triggered:
+            times[node_id] = float(event.value)
+    return times

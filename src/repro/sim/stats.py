@@ -1,0 +1,161 @@
+"""Transmission statistics collection.
+
+The experiments in §VI report two families of quantities:
+
+* **overall communication costs** — the total number of link-layer
+  transmissions across the whole network for one query execution, optionally
+  broken down by protocol phase (Fig. 15);
+* **per-node communication costs** — transmissions per node, plotted against
+  the node's number of routing-tree descendants (Fig. 11), because the most
+  loaded nodes (near the root) determine network lifetime.
+
+:class:`TransmissionStats` is the single accounting sink both join
+implementations write into.  Every ``record_tx`` call is tagged with the
+sending node and a phase label, so any of the paper's breakdowns can be
+recovered afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["TransmissionStats", "NodeLoad", "PHASE_LABELS"]
+
+#: Canonical phase labels used by the protocols in :mod:`repro.joins`.
+PHASE_LABELS = (
+    "query-dissemination",
+    "join-attribute-collection",
+    "filter-dissemination",
+    "final-result",
+    "external-collection",
+)
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """Per-node load summary row (one point in a Fig. 11 style scatter)."""
+
+    node_id: int
+    descendants: int
+    tx_packets: int
+    tx_bytes: int
+    rx_packets: int
+    rx_bytes: int
+
+    @property
+    def total_packets(self) -> int:
+        """Transmitted plus received packets (radio duty proxy)."""
+        return self.tx_packets + self.rx_packets
+
+
+class TransmissionStats:
+    """Accumulates per-node, per-phase packet and byte counters."""
+
+    def __init__(self) -> None:
+        self._tx_packets: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._tx_bytes: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._rx_packets: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._rx_bytes: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    # -- recording ----------------------------------------------------------
+
+    def record_tx(self, node_id: int, phase: str, packets: int, payload_bytes: int) -> None:
+        """Record that ``node_id`` transmitted ``packets`` in ``phase``."""
+        if packets < 0 or payload_bytes < 0:
+            raise ValueError("packet and byte counts must be non-negative")
+        self._tx_packets[node_id][phase] += packets
+        self._tx_bytes[node_id][phase] += payload_bytes
+
+    def record_rx(self, node_id: int, phase: str, packets: int, payload_bytes: int) -> None:
+        """Record that ``node_id`` received ``packets`` in ``phase``."""
+        if packets < 0 or payload_bytes < 0:
+            raise ValueError("packet and byte counts must be non-negative")
+        self._rx_packets[node_id][phase] += packets
+        self._rx_bytes[node_id][phase] += payload_bytes
+
+    # -- aggregation ---------------------------------------------------------
+
+    def total_tx_packets(self, phases: Iterable[str] | None = None) -> int:
+        """Total transmissions network-wide, optionally restricted to phases."""
+        wanted = None if phases is None else set(phases)
+        total = 0
+        for by_phase in self._tx_packets.values():
+            for phase, count in by_phase.items():
+                if wanted is None or phase in wanted:
+                    total += count
+        return total
+
+    def total_tx_bytes(self, phases: Iterable[str] | None = None) -> int:
+        """Total payload bytes transmitted network-wide."""
+        wanted = None if phases is None else set(phases)
+        total = 0
+        for by_phase in self._tx_bytes.values():
+            for phase, count in by_phase.items():
+                if wanted is None or phase in wanted:
+                    total += count
+        return total
+
+    def tx_packets_by_phase(self) -> Dict[str, int]:
+        """Network-wide transmissions per phase (Fig. 15 breakdown)."""
+        result: Dict[str, int] = defaultdict(int)
+        for by_phase in self._tx_packets.values():
+            for phase, count in by_phase.items():
+                result[phase] += count
+        return dict(result)
+
+    def node_tx_packets(self, node_id: int, phases: Iterable[str] | None = None) -> int:
+        """Transmissions by one node, optionally restricted to phases."""
+        by_phase = self._tx_packets.get(node_id, {})
+        if phases is None:
+            return sum(by_phase.values())
+        wanted = set(phases)
+        return sum(count for phase, count in by_phase.items() if phase in wanted)
+
+    def node_rx_packets(self, node_id: int) -> int:
+        """Packets received by one node across all phases."""
+        return sum(self._rx_packets.get(node_id, {}).values())
+
+    def per_node_loads(self, descendants: Mapping[int, int]) -> list[NodeLoad]:
+        """Per-node load rows joined with routing-tree descendant counts.
+
+        ``descendants`` maps node id -> number of descendants; nodes present
+        in either mapping appear in the output (missing counters are zero).
+        """
+        node_ids = set(descendants) | set(self._tx_packets) | set(self._rx_packets)
+        rows = []
+        for node_id in sorted(node_ids):
+            rows.append(
+                NodeLoad(
+                    node_id=node_id,
+                    descendants=descendants.get(node_id, 0),
+                    tx_packets=sum(self._tx_packets.get(node_id, {}).values()),
+                    tx_bytes=sum(self._tx_bytes.get(node_id, {}).values()),
+                    rx_packets=sum(self._rx_packets.get(node_id, {}).values()),
+                    rx_bytes=sum(self._rx_bytes.get(node_id, {}).values()),
+                )
+            )
+        return rows
+
+    def max_node_tx_packets(self, phases: Iterable[str] | None = None) -> int:
+        """Transmissions of the most loaded node (network-lifetime proxy)."""
+        best = 0
+        for node_id in self._tx_packets:
+            best = max(best, self.node_tx_packets(node_id, phases))
+        return best
+
+    def merge(self, other: "TransmissionStats") -> None:
+        """Add every counter of ``other`` into this collector."""
+        for node_id, by_phase in other._tx_packets.items():
+            for phase, count in by_phase.items():
+                self._tx_packets[node_id][phase] += count
+        for node_id, by_phase in other._tx_bytes.items():
+            for phase, count in by_phase.items():
+                self._tx_bytes[node_id][phase] += count
+        for node_id, by_phase in other._rx_packets.items():
+            for phase, count in by_phase.items():
+                self._rx_packets[node_id][phase] += count
+        for node_id, by_phase in other._rx_bytes.items():
+            for phase, count in by_phase.items():
+                self._rx_bytes[node_id][phase] += count

@@ -1,0 +1,83 @@
+"""Structured execution tracing.
+
+A lightweight trace facility the protocol implementations emit into.  Traces
+are invaluable when debugging a distributed protocol: every phase boundary,
+treecut decision, filter pruning step and proxy action can be recorded with
+the simulated time and node id, and then filtered after the run.
+
+Tracing is off by default (a :class:`NullTracer` swallows everything at
+near-zero cost); tests and examples opt in with :class:`ListTracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "ListTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    node_id: int
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[t={self.time:9.3f}] node {self.node_id:4d} {self.kind} {extra}".rstrip()
+
+
+class Tracer:
+    """Interface: something that accepts trace events."""
+
+    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
+        """Record one event; implementations decide what to do with it."""
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Discards every event (the default)."""
+
+    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
+        """Do nothing."""
+
+
+class ListTracer(Tracer):
+    """Keeps every event in memory for later inspection."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(TraceEvent(time, node_id, kind, detail))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        node_id: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Events matching all the given criteria."""
+        result: Iterable[TraceEvent] = self.events
+        if kind is not None:
+            result = (event for event in result if event.kind == kind)
+        if node_id is not None:
+            result = (event for event in result if event.node_id == node_id)
+        if predicate is not None:
+            result = (event for event in result if predicate(event))
+        return list(result)
+
+    def kinds(self) -> set[str]:
+        """The distinct event kinds seen so far."""
+        return {event.kind for event in self.events}
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,89 @@
+"""Facade (SensorNetworkDB) tests."""
+
+import pytest
+
+from repro import QueryReport, SensorNetworkDB
+from repro.errors import BindingError, QueryError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SensorNetworkDB(node_count=150, seed=7)
+
+
+def test_repr_and_tree(db):
+    assert "150 nodes" in repr(db)
+    assert db.tree.height >= 1
+
+
+def test_execute_returns_report(db):
+    report = db.execute(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 1.0 ONCE"
+    )
+    assert isinstance(report, QueryReport)
+    assert report.algorithm == "sens-join"
+    assert report.transmissions > 0
+    assert "sens-join" in report.summary()
+
+
+def test_execute_algorithms_agree(db):
+    sql = "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 1.0 ONCE"
+    sens = db.execute(sql)
+    external = db.execute(sql, algorithm="external-join")
+    assert sens.outcome.result.signature() == external.outcome.result.signature()
+
+
+def test_execute_rejects_sample_period(db):
+    with pytest.raises(QueryError, match="execute_stream"):
+        db.execute(
+            "SELECT A.temp FROM sensors A, sensors B "
+            "WHERE A.temp - B.temp > 1 SAMPLE PERIOD 5"
+        )
+
+
+def test_execute_stream(db):
+    reports = db.execute_stream(
+        "SELECT A.temp, B.temp FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 1 SAMPLE PERIOD 30",
+        executions=2,
+    )
+    assert len(reports) == 2
+
+
+def test_execute_stream_rejects_once(db):
+    with pytest.raises(QueryError):
+        db.execute_stream(
+            "SELECT A.temp FROM sensors A, sensors B WHERE A.temp - B.temp > 1 ONCE"
+        )
+
+
+def test_parse_validates_attributes(db):
+    with pytest.raises(BindingError):
+        db.parse("SELECT A.windspeed FROM sensors A, sensors B WHERE A.temp > B.temp ONCE")
+
+
+def test_explain_mentions_plan(db):
+    text = db.explain(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 1 ONCE"
+    )
+    assert "join attributes" in text
+    assert "Treecut" in text
+    assert "quantizer" in text.lower()
+
+
+def test_custom_area_and_packets():
+    db = SensorNetworkDB(node_count=100, area_side_m=300.0, seed=3, max_packet_bytes=124)
+    assert db.network.packet_format.max_packet_bytes == 124
+
+
+def test_network_world_must_come_together(small_network):
+    with pytest.raises(ValueError):
+        SensorNetworkDB(network=small_network, world=None)
+
+
+def test_wrap_existing_network(small_network, small_world):
+    db = SensorNetworkDB(network=small_network, world=small_world, seed=11)
+    report = db.execute(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 2.0 ONCE"
+    )
+    assert report.transmissions > 0

@@ -1,0 +1,98 @@
+"""Workload/scenario builder tests."""
+
+import pytest
+
+from repro.bench.workloads import (
+    JOIN_ATTR_SETS,
+    Scenario,
+    build_scenario,
+    calibrated_query,
+    default_node_count,
+    ratio_query_builder,
+)
+
+
+def test_default_node_count_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert default_node_count() == 600
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert default_node_count() == 1500
+
+
+def test_scenario_caching():
+    a = build_scenario(node_count=150, seed=1)
+    b = build_scenario(node_count=150, seed=1)
+    c = build_scenario(node_count=150, seed=2)
+    assert a is b
+    assert a is not c
+
+
+def test_scenario_density_matches_paper():
+    scenario = build_scenario(node_count=150, seed=1)
+    density = scenario.node_count / scenario.config.area_side_m**2
+    assert density == pytest.approx(1500 / 1050.0**2, rel=1e-6)
+
+
+@pytest.mark.parametrize("join_attrs,total", [(1, 1), (1, 3), (1, 5), (3, 3), (3, 5)])
+def test_ratio_builder_attribute_counts(join_attrs, total):
+    query = ratio_query_builder(join_attrs, total)(5.0)
+    assert len(query.join_attributes("A")) == join_attrs
+    assert len(query.full_tuple_attributes("A")) == total
+    assert query.join_attribute_ratio("A") == pytest.approx(join_attrs / total)
+
+
+def test_ratio_builder_validation():
+    with pytest.raises(ValueError):
+        ratio_query_builder(4, 5)
+    with pytest.raises(ValueError):
+        ratio_query_builder(3, 2)
+    with pytest.raises(ValueError):
+        ratio_query_builder(1, 99)
+
+
+def test_threshold_controls_selectivity():
+    builder = ratio_query_builder(1, 3)
+    scenario = build_scenario(node_count=150, seed=1)
+    from repro.bench.calibrate import measure_result_fraction
+
+    scenario.world.take_snapshot(0.0)
+    loose = measure_result_fraction(scenario.world, builder(0.5))
+    tight = measure_result_fraction(scenario.world, builder(3.0))
+    assert loose >= tight
+
+
+def test_calibrated_query_achieves_fraction():
+    scenario = build_scenario(node_count=150, seed=1)
+    query = calibrated_query(scenario, 1, 3, target_fraction=0.10)
+    from repro.bench.calibrate import measure_result_fraction
+
+    achieved = measure_result_fraction(scenario.world, query)
+    assert abs(achieved - 0.10) < 0.05
+
+
+def test_scenario_run_helper(tail_query):
+    scenario = build_scenario(node_count=150, seed=1)
+    outcome = scenario.run(tail_query(1.0), "external-join")
+    assert outcome.total_transmissions > 0
+
+
+def test_two_join_attribute_template_runs_exactly():
+    """The 2-join-attribute template (temp+hum) through both joins."""
+    from repro.bench.workloads import ratio_query_builder
+    from repro.joins.external import ExternalJoin
+    from repro.joins.sensjoin import SensJoin
+
+    scenario = build_scenario(node_count=150, seed=1)
+    query = ratio_query_builder(2, 4)(8.0)
+    assert query.join_attributes("A") == ["hum", "temp"]
+    external = scenario.run(query, ExternalJoin())
+    sens = scenario.run(query, SensJoin())
+    assert external.result.signature() == sens.result.signature()
+
+
+def test_min_distance_constant_used_by_three_attr_template():
+    from repro.bench.workloads import MIN_DISTANCE_M, ratio_query_builder
+
+    query = ratio_query_builder(3, 5)(5.0)
+    # Integral literals render without a decimal point.
+    assert f"distance(A.x, A.y, B.x, B.y) > {MIN_DISTANCE_M:g}" in query.sql().replace("\n", " ")

@@ -1,0 +1,74 @@
+"""CLI (python -m repro) tests."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+SQL = "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 14 ONCE"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_query_command(capsys):
+    code, out, err = run_cli(
+        capsys, "query", SQL, "--nodes", "150", "--seed", "3", "--limit", "2"
+    )
+    assert code == 0
+    assert "sens-join" in out
+    assert "transmissions" in out
+
+
+def test_query_with_external_algorithm(capsys):
+    code, out, _ = run_cli(
+        capsys, "query", SQL, "--algorithm", "external-join", "--nodes", "150"
+    )
+    assert code == 0
+    assert "external-join" in out
+
+
+def test_explain_command(capsys):
+    code, out, _ = run_cli(capsys, "explain", SQL, "--nodes", "150")
+    assert code == 0
+    assert "join attributes" in out
+    assert "Treecut" in out
+
+
+def test_compare_command(capsys):
+    code, out, _ = run_cli(capsys, "compare", SQL, "--nodes", "150", "--seed", "3")
+    assert code == 0
+    assert "results identical: True" in out
+    assert "saving" in out
+
+
+def test_parse_error_reported_cleanly(capsys):
+    code, out, err = run_cli(capsys, "query", "SELECT FROM nothing", "--nodes", "150")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_unknown_attribute_reported_cleanly(capsys):
+    code, _, err = run_cli(
+        capsys,
+        "query",
+        "SELECT A.wind FROM sensors A, sensors B WHERE A.temp > B.temp ONCE",
+        "--nodes", "150",
+    )
+    assert code == 2
+    assert "error:" in err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_row_limit_truncates(capsys):
+    sql = "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 5 ONCE"
+    code, out, _ = run_cli(capsys, "query", sql, "--nodes", "150", "--limit", "1")
+    assert code == 0
+    if "more row(s)" in out:
+        assert out.count("{") == 1

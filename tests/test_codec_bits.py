@@ -1,0 +1,89 @@
+"""Bit-level I/O tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.bits import BitReader, BitWriter, Bits
+from repro.errors import CodecError
+
+
+class TestBits:
+    def test_from_string_roundtrip(self):
+        bits = Bits.from_string("10110")
+        assert len(bits) == 5
+        assert bits.value == 0b10110
+        assert repr(bits) == "Bits('10110')"
+
+    def test_empty(self):
+        bits = Bits()
+        assert len(bits) == 0 and bits.byte_length == 0 and bits.to_bytes() == b""
+
+    def test_byte_length_rounds_up(self):
+        assert Bits.from_string("1" * 8).byte_length == 1
+        assert Bits.from_string("1" * 9).byte_length == 2
+
+    def test_to_bytes_left_aligned(self):
+        assert Bits.from_string("1").to_bytes() == b"\x80"
+        assert Bits.from_string("00000001").to_bytes() == b"\x01"
+
+    def test_validation(self):
+        with pytest.raises(CodecError):
+            Bits(4, 2)  # 100 does not fit in 2 bits
+        with pytest.raises(CodecError):
+            Bits(-1, 2)
+        with pytest.raises(CodecError):
+            Bits.from_string("012")
+
+    def test_equality_includes_length(self):
+        assert Bits.from_string("01") != Bits.from_string("1")
+        assert Bits.from_string("101") == Bits.from_string("101")
+        assert hash(Bits.from_string("101")) == hash(Bits.from_string("101"))
+
+
+class TestWriterReader:
+    def test_writer_accumulates(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_uint(0b0110, 4)
+        writer.write_bits(Bits.from_string("01"))
+        assert writer.getvalue() == Bits.from_string("1011001")
+        assert len(writer) == 7
+
+    def test_writer_validation(self):
+        writer = BitWriter()
+        with pytest.raises(CodecError):
+            writer.write_bit(2)
+        with pytest.raises(CodecError):
+            writer.write_uint(8, 3)
+        with pytest.raises(CodecError):
+            writer.write_uint(1, -1)
+
+    def test_reader_consumes_in_order(self):
+        reader = BitReader(Bits.from_string("1011001"))
+        assert reader.read_bit() == 1
+        assert reader.read_uint(4) == 0b0110
+        assert reader.read_uint(2) == 0b01
+        assert reader.at_end()
+
+    def test_reader_underrun(self):
+        reader = BitReader(Bits.from_string("101"))
+        reader.read_uint(2)
+        with pytest.raises(CodecError, match="underrun"):
+            reader.read_uint(2)
+
+    def test_reader_zero_width_reads(self):
+        reader = BitReader(Bits.from_string("1"))
+        assert reader.read_uint(0) == 0
+        assert reader.remaining == 1
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                              st.integers(min_value=16, max_value=20)), max_size=30))
+    def test_roundtrip_random_fields(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_uint(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_uint(width) == value
+        assert reader.at_end()

@@ -1,0 +1,60 @@
+"""Compression-baseline tests (§VI-B)."""
+
+import pytest
+
+from repro.codec.compression import (
+    COMPRESSORS,
+    compressed_size,
+    encode_raw_tuples,
+    raw_size_bytes,
+)
+
+
+def tuples(count):
+    return [
+        {"temp": 20.0 + 0.1 * (i % 30), "x": float(i % 100), "y": float(i // 100)}
+        for i in range(count)
+    ]
+
+
+def test_raw_layout_two_bytes_per_attribute():
+    raw = encode_raw_tuples(tuples(10), ["temp", "x", "y"])
+    assert len(raw) == 10 * 3 * 2
+    assert raw_size_bytes(10, 3) == len(raw)
+
+
+def test_raw_encoding_deterministic():
+    assert encode_raw_tuples(tuples(5), ["temp", "x"]) == encode_raw_tuples(
+        tuples(5), ["temp", "x"]
+    )
+
+
+def test_attribute_order_matters():
+    a = encode_raw_tuples(tuples(5), ["temp", "x"])
+    b = encode_raw_tuples(tuples(5), ["x", "temp"])
+    assert a != b
+
+
+def test_all_compressors_available():
+    assert set(COMPRESSORS) == {"none", "zlib", "bzip2"}
+
+
+def test_none_is_identity():
+    raw = encode_raw_tuples(tuples(20), ["temp"])
+    assert compressed_size(raw, "none") == len(raw)
+
+
+def test_bzip2_inflates_small_payloads():
+    """The paper's observation: bzip2 *adds* overhead at per-hop sizes."""
+    raw = encode_raw_tuples(tuples(5), ["temp", "x", "y"])  # 30 bytes
+    assert compressed_size(raw, "bzip2") > len(raw)
+
+
+def test_zlib_beats_raw_on_large_redundant_payloads():
+    raw = encode_raw_tuples(tuples(1500), ["temp", "x", "y"])
+    assert compressed_size(raw, "zlib") < len(raw)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown compressor"):
+        compressed_size(b"abc", "lzma")

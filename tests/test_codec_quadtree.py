@@ -1,0 +1,179 @@
+"""Pointerless quadtree codec tests (Fig. 9 wire format)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bits import Bits
+from repro.codec.quadtree import QuadtreeCodec
+from repro.errors import CodecError
+
+
+@pytest.fixture()
+def codec():
+    # 2 relation-flag bits, 3 x 2-bit Z levels (6-bit Z space).
+    return QuadtreeCodec(2, [2, 2, 2])
+
+
+def points_strategy(codec):
+    flags = st.integers(min_value=1, max_value=(1 << codec.flag_bits) - 1)
+    zs = st.integers(min_value=0, max_value=(1 << codec.z_bits) - 1)
+    return st.frozensets(st.tuples(flags, zs), max_size=40)
+
+
+class TestRoundtrip:
+    def test_empty_set(self, codec):
+        assert codec.encode([]) == Bits()
+        assert codec.decode(Bits()) == frozenset()
+
+    def test_single_point(self, codec):
+        points = {(0b10, 0b110011)}
+        assert codec.decode(codec.encode(points)) == frozenset(points)
+
+    def test_duplicate_points_collapse(self, codec):
+        encoded = codec.encode([(3, 5), (3, 5), (3, 5)])
+        assert codec.decode(encoded) == frozenset({(3, 5)})
+
+    @settings(deadline=None)
+    @given(st.data())
+    def test_roundtrip_random(self, data):
+        codec = QuadtreeCodec(2, [2, 2, 2])
+        points = data.draw(points_strategy(codec))
+        assert codec.decode(codec.encode(points)) == points
+
+    @settings(deadline=None)
+    @given(st.data())
+    def test_encoding_is_canonical(self, data):
+        """Same set, any insertion order -> identical bitstring."""
+        codec = QuadtreeCodec(2, [3, 3])
+        points = list(data.draw(points_strategy(codec)))
+        forward = codec.encode(points)
+        backward = codec.encode(list(reversed(points)))
+        assert forward == backward
+
+    def test_uneven_levels(self):
+        codec = QuadtreeCodec(2, [3, 2, 1])
+        points = {(1, 0b101010), (2, 0b000001), (3, 0b111111)}
+        assert codec.decode(codec.encode(points)) == frozenset(points)
+
+    def test_no_flag_bits(self):
+        codec = QuadtreeCodec(0, [2, 2])
+        points = {(0, 5), (0, 9)}
+        assert codec.decode(codec.encode(points)) == frozenset(points)
+
+
+class TestCompactness:
+    def test_single_point_costs_two_bits_plus_payload(self, codec):
+        # '1' + full point + '0' terminator.
+        encoded = codec.encode({(1, 0)})
+        assert len(encoded) == 1 + codec.total_bits + 1
+
+    def test_encoded_size_matches_encode(self, codec):
+        points = {(3, 0b000000), (3, 0b000001), (3, 0b000010), (1, 0b111111)}
+        assert codec.encoded_size_bits(points) == len(codec.encode(points))
+
+    def test_clustered_points_beat_raw_listing(self):
+        """Spatially clustered Z-numbers share prefixes -> big savings."""
+        codec = QuadtreeCodec(2, [2] * 8)  # 16-bit Z space
+        cluster = {(3, 0b1010101010100000 | i) for i in range(16)}
+        encoded_bits = len(codec.encode(cluster))
+        raw_bits = len(cluster) * (codec.total_bits + 1) + 1
+        assert encoded_bits < raw_bits * 0.6
+
+    def test_scattered_points_never_worse_than_listing(self):
+        codec = QuadtreeCodec(2, [2] * 8)
+        scattered = {(3, (i * 2654435761) % (1 << 16)) for i in range(30)}
+        encoded_bits = len(codec.encode(scattered))
+        raw_bits = len(scattered) * (codec.total_bits + 1) + 1
+        assert encoded_bits <= raw_bits
+
+    def test_subdivision_reduces_per_point_cost(self):
+        """Deep shared prefixes make the relative encoding shorter."""
+        codec = QuadtreeCodec(2, [2] * 10)  # 20-bit Z space
+        base = 0b10110011001100110000
+        dense = {(3, base | i) for i in range(16)}
+        sparse_cost = 16 * (1 + codec.total_bits) + 1
+        assert len(codec.encode(dense)) < sparse_cost / 2
+
+
+class TestValidation:
+    def test_flags_must_name_a_relation(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode([(0, 5)])
+
+    def test_flags_overflow(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode([(4, 5)])
+
+    def test_z_overflow(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode([(1, 1 << codec.z_bits)])
+
+    def test_trailing_garbage_detected(self, codec):
+        encoded = codec.encode({(1, 0)})
+        padded = Bits(encoded.value << 3, len(encoded) + 3)
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode(padded)
+
+    def test_bad_level_widths(self):
+        with pytest.raises(CodecError):
+            QuadtreeCodec(2, [2, 0])
+        with pytest.raises(CodecError):
+            QuadtreeCodec(-1, [2])
+        with pytest.raises(CodecError):
+            QuadtreeCodec(0, [])
+
+    def test_pack_unpack(self, codec):
+        packed = codec.pack((2, 0b101))
+        assert codec.unpack(packed) == (2, 0b101)
+
+
+class TestOptimality:
+    """The decomposition-threshold DP must find the minimal encoding."""
+
+    @staticmethod
+    def _brute_minimum(codec, packed, level, remaining):
+        """Independent exhaustive minimiser over subdivide/list decisions.
+
+        Deliberately written differently from the production DP (explicit
+        recursion over sorted groups, list cost computed from first
+        principles) so a shared bug cannot hide.
+        """
+        cost_as_list = len(packed) * (1 + remaining) + 1
+        if level >= len(codec._schedule):
+            return cost_as_list
+        width = codec._schedule[level]
+        groups = {}
+        for point in packed:
+            key = (point >> (remaining - width)) & ((1 << width) - 1)
+            groups.setdefault(key, []).append(point)
+        cost_subdivided = 1 + (1 << width)
+        for group in groups.values():
+            cost_subdivided += TestOptimality._brute_minimum(
+                codec, group, level + 1, remaining - width
+            )
+        return min(cost_as_list, cost_subdivided)
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.data())
+    def test_encoding_size_is_minimal(self, data):
+        codec = QuadtreeCodec(2, [2, 2, 2])
+        points = data.draw(points_strategy(codec))
+        if not points:
+            return
+        packed = sorted(codec.pack(p) for p in points)
+        optimal = self._brute_minimum(codec, packed, 0, codec.total_bits)
+        assert len(codec.encode(points)) == optimal
+
+    def test_paper_fig8_style_example(self):
+        """Fig. 8's scenario: five clustered 2-D points; the tree isolates
+        their common region and lists the remainders relative to it."""
+        codec = QuadtreeCodec(0, [2, 2, 2, 2])  # 8-bit Z space, 2 dims
+        # Five points sharing the same top quadrant.
+        base = 0b01_00_00_00
+        points = {(0, base | offset) for offset in (0b000000, 0b000001, 0b000100,
+                                                    0b010000, 0b010101)}
+        encoded = codec.encode(points)
+        flat_cost = 5 * (1 + 8) + 1
+        assert len(encoded) < flat_cost
+        assert codec.decode(encoded) == frozenset(points)

@@ -1,0 +1,100 @@
+"""Set-operation tests for the quadtree representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.quadtree import QuadtreeCodec
+from repro.codec.setops import (
+    insert_point,
+    intersect_encoded,
+    intersect_points,
+    union_encoded,
+    union_points,
+)
+
+FLAG_A, FLAG_B, FLAG_BOTH = 0b10, 0b01, 0b11
+
+
+def test_union_merges_flags():
+    """'10' union '01' on the same Z-number gives '11' (both relations)."""
+    merged = union_points([(FLAG_A, 5)], [(FLAG_B, 5)])
+    assert merged == frozenset({(FLAG_BOTH, 5)})
+
+
+def test_union_disjoint_points():
+    merged = union_points([(FLAG_A, 1)], [(FLAG_B, 2)])
+    assert merged == frozenset({(FLAG_A, 1), (FLAG_B, 2)})
+
+
+def test_union_is_commutative_and_idempotent():
+    a = [(FLAG_A, 1), (FLAG_BOTH, 2)]
+    b = [(FLAG_B, 1)]
+    assert union_points(a, b) == union_points(b, a)
+    assert union_points(a, a) == frozenset(a)
+
+
+def test_intersect_ands_flags():
+    common = intersect_points([(FLAG_BOTH, 5)], [(FLAG_A, 5)])
+    assert common == frozenset({(FLAG_A, 5)})
+
+
+def test_intersect_drops_flagless_points():
+    # A-only on one side, B-only on the other: flags AND to zero -> gone.
+    assert intersect_points([(FLAG_A, 5)], [(FLAG_B, 5)]) == frozenset()
+
+
+def test_intersect_requires_shared_z():
+    assert intersect_points([(FLAG_BOTH, 1)], [(FLAG_BOTH, 2)]) == frozenset()
+
+
+def test_insert_point():
+    result = insert_point([(FLAG_A, 1)], (FLAG_B, 1))
+    assert result == frozenset({(FLAG_BOTH, 1)})
+    result = insert_point([], (FLAG_A, 9))
+    assert result == frozenset({(FLAG_A, 9)})
+
+
+@pytest.fixture()
+def codec():
+    return QuadtreeCodec(2, [2, 2, 2])
+
+
+def sets(codec):
+    flags = st.integers(min_value=1, max_value=3)
+    zs = st.integers(min_value=0, max_value=(1 << codec.z_bits) - 1)
+    return st.frozensets(st.tuples(flags, zs), max_size=25)
+
+
+@settings(deadline=None)
+@given(st.data())
+def test_union_encoded_equals_point_union(data):
+    codec = QuadtreeCodec(2, [2, 2, 2])
+    a = data.draw(sets(codec))
+    b = data.draw(sets(codec))
+    combined = codec.decode(union_encoded(codec, codec.encode(a), codec.encode(b)))
+    assert combined == union_points(a, b)
+
+
+@settings(deadline=None)
+@given(st.data())
+def test_intersect_encoded_equals_point_intersection(data):
+    codec = QuadtreeCodec(2, [2, 2, 2])
+    a = data.draw(sets(codec))
+    b = data.draw(sets(codec))
+    combined = codec.decode(intersect_encoded(codec, codec.encode(a), codec.encode(b)))
+    assert combined == intersect_points(a, b)
+
+
+@settings(deadline=None)
+@given(st.data())
+def test_union_never_larger_than_operand_sum(data):
+    """Merging subtree structures never inflates the wire size beyond the
+    concatenation of the operands (the reason nodes merge before sending)."""
+    codec = QuadtreeCodec(2, [2, 2, 2])
+    a = data.draw(sets(codec))
+    b = data.draw(sets(codec))
+    merged_size = len(union_encoded(codec, codec.encode(a), codec.encode(b)))
+    separate = len(codec.encode(a)) + len(codec.encode(b))
+    if a or b:
+        assert merged_size <= separate + 2  # +list terminator slack

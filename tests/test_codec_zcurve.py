@@ -1,0 +1,95 @@
+"""Z-order encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec.zcurve import deinterleave, interleave, level_widths, total_bits
+from repro.errors import CodecError
+
+
+def test_figure6_example():
+    """Fig. 6c: 2-bit 2D Z-ordering gives the familiar 0..15 pattern."""
+    # The figure's grid (x = column, y = row, both 2 bits):
+    # row 0: 0 1 4 5 / row 1: 2 3 6 7 / row 2: 8 9 12 13 / row 3: 10 11 14 15
+    expected = {
+        (0, 0): 0, (1, 0): 1, (0, 1): 2, (1, 1): 3,
+        (2, 0): 4, (3, 0): 5, (2, 1): 6, (3, 1): 7,
+        (0, 2): 8, (1, 2): 9, (0, 3): 10, (1, 3): 11,
+        (2, 2): 12, (3, 2): 13, (2, 3): 14, (3, 3): 15,
+    }
+    # Dimension order [y, x]: the row bit is more significant per round,
+    # matching the figure's numbering.
+    for (x, y), z in expected.items():
+        assert interleave([y, x], [2, 2]) == z, (x, y)
+
+
+def test_locality_of_z_order():
+    """Nearby points get nearby Z-numbers more often than distant ones."""
+    near = abs(interleave([1, 1], [4, 4]) - interleave([1, 2], [4, 4]))
+    far = abs(interleave([1, 1], [4, 4]) - interleave([14, 14], [4, 4]))
+    assert near < far
+
+
+def test_uneven_dimensions():
+    # 3 bits for x, 1 bit for y: y contributes only in round 0.
+    assert level_widths([3, 1]) == [2, 1, 1]
+    z = interleave([0b101, 0b1], [3, 1])
+    # Round 0: x2=1, y0=1 -> '11'; round 1: x1=0 -> '0'; round 2: x0=1 -> '1'.
+    assert z == 0b1101
+    assert deinterleave(z, [3, 1]) == [0b101, 0b1]
+
+
+def test_zero_width_dimension_allowed():
+    # A dimension with one cell (0 bits) never contributes.
+    assert total_bits([2, 0]) == 2
+    assert interleave([3, 0], [2, 0]) == 3
+    assert deinterleave(3, [2, 0]) == [3, 0]
+
+
+def test_validation():
+    with pytest.raises(CodecError):
+        interleave([1], [2, 2])  # arity mismatch
+    with pytest.raises(CodecError):
+        interleave([4], [2])  # coordinate overflow
+    with pytest.raises(CodecError):
+        deinterleave(16, [2, 2])  # z overflow
+    with pytest.raises(CodecError):
+        level_widths([])
+    with pytest.raises(CodecError):
+        total_bits([0, 0])
+    with pytest.raises(CodecError):
+        interleave([0], [-1])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=5).flatmap(
+    lambda widths: st.tuples(
+        st.just(widths),
+        st.tuples(*[st.integers(min_value=0, max_value=(1 << w) - 1) for w in widths]),
+    )
+))
+def test_roundtrip_random(case):
+    widths, coords = case
+    if sum(widths) == 0:
+        return
+    z = interleave(list(coords), widths)
+    assert deinterleave(z, widths) == list(coords)
+    assert 0 <= z < (1 << sum(widths))
+
+
+@given(st.integers(min_value=0, max_value=2**20 - 1))
+def test_roundtrip_from_z(z):
+    widths = [7, 6, 7]
+    coords = deinterleave(z, widths)
+    assert interleave(coords, widths) == z
+
+
+def test_z_number_prefix_is_quadrant():
+    """The Z-number's bit prefix identifies the quadtree quadrant (§V-C)."""
+    widths = [3, 3]
+    # Points in the same top-level quadrant share their first 2 bits.
+    z1 = interleave([0, 0], widths)
+    z2 = interleave([3, 3], widths)  # still in the low half of both dims
+    z3 = interleave([4, 4], widths)  # high half of both dims
+    assert z1 >> 4 == z2 >> 4
+    assert z1 >> 4 != z3 >> 4

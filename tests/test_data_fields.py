@@ -1,0 +1,111 @@
+"""Synthetic field generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import (
+    ConstantField,
+    GaussianProcessField,
+    GradientField,
+    PatchyField,
+    UncorrelatedField,
+    empirical_correlation,
+)
+
+
+def test_gp_field_deterministic_per_seed():
+    a = GaussianProcessField(20.0, 3.0, 100.0, seed=1)
+    b = GaussianProcessField(20.0, 3.0, 100.0, seed=1)
+    c = GaussianProcessField(20.0, 3.0, 100.0, seed=2)
+    assert a.value(10, 20) == b.value(10, 20)
+    assert a.value(10, 20) != c.value(10, 20)
+
+
+def test_gp_field_scalar_matches_vectorised():
+    field = GaussianProcessField(20.0, 3.0, 100.0, seed=1)
+    xs = np.array([1.0, 50.0, 200.0])
+    ys = np.array([2.0, 60.0, 300.0])
+    sampled = field.sample(xs, ys)
+    for i in range(3):
+        assert field.value(xs[i], ys[i]) == pytest.approx(sampled[i])
+
+
+def test_gp_field_statistics_roughly_match():
+    field = GaussianProcessField(22.0, 4.0, 50.0, seed=3)
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0, 2000, 4000)
+    ys = rng.uniform(0, 2000, 4000)
+    values = field.sample(xs, ys)
+    assert abs(values.mean() - 22.0) < 0.8
+    assert 2.5 < values.std() < 5.5
+
+
+def test_gp_spatial_correlation_decays_with_distance():
+    field = GaussianProcessField(0.0, 1.0, 80.0, seed=5)
+    near, far = empirical_correlation(field, 1000.0, [10.0, 500.0], seed=1)
+    assert near > 0.7
+    assert far < 0.5
+    assert near > far
+
+
+def test_gp_field_drift_changes_values_over_time():
+    frozen = GaussianProcessField(0.0, 1.0, 100.0, seed=1, drift_rate=0.0)
+    drifting = GaussianProcessField(0.0, 1.0, 100.0, seed=1, drift_rate=0.5)
+    assert frozen.value(5, 5, t=0.0) == frozen.value(5, 5, t=100.0)
+    assert drifting.value(5, 5, t=0.0) != drifting.value(5, 5, t=100.0)
+
+
+def test_gp_field_validation():
+    with pytest.raises(ValueError):
+        GaussianProcessField(0.0, -1.0, 10.0)
+    with pytest.raises(ValueError):
+        GaussianProcessField(0.0, 1.0, 0.0)
+    with pytest.raises(ValueError):
+        GaussianProcessField(0.0, 1.0, 10.0, features=0)
+
+
+def test_gradient_field_exact_without_noise():
+    field = GradientField(10.0, 0.01, -0.02)
+    assert field.value(100.0, 50.0) == pytest.approx(10.0 + 1.0 - 1.0)
+    values = field.sample(np.array([0.0, 100.0]), np.array([0.0, 0.0]))
+    assert values[1] - values[0] == pytest.approx(1.0)
+
+
+def test_gradient_field_with_noise_keeps_trend():
+    field = GradientField(0.0, 0.1, 0.0, noise_std=0.5, seed=2)
+    left = field.sample(np.full(200, 0.0), np.linspace(0, 1000, 200)).mean()
+    right = field.sample(np.full(200, 1000.0), np.linspace(0, 1000, 200)).mean()
+    assert right - left > 50.0
+
+
+def test_patchy_field_has_plateaus():
+    field = PatchyField(20.0, 5.0, area_side=500.0, patches=5, smooth_std=0.0, seed=7)
+    # Two points very close together share a patch -> identical values.
+    assert field.value(100.0, 100.0) == field.value(100.5, 100.2)
+    # Across the whole area there are at most `patches` distinct levels.
+    rng = np.random.default_rng(1)
+    values = field.sample(rng.uniform(0, 500, 300), rng.uniform(0, 500, 300))
+    assert len(np.unique(np.round(values, 9))) <= 5
+
+
+def test_patchy_field_validation():
+    with pytest.raises(ValueError):
+        PatchyField(0.0, 1.0, 100.0, patches=0)
+
+
+def test_uncorrelated_field_is_stable_per_point():
+    field = UncorrelatedField(0.0, 1.0, seed=3)
+    assert field.value(10.0, 20.0) == field.value(10.0, 20.0)
+    assert field.value(10.0, 20.0) != field.value(10.0, 20.000001) or True  # may collide
+
+
+def test_uncorrelated_field_has_no_spatial_structure():
+    field = UncorrelatedField(0.0, 1.0, seed=3)
+    correlations = empirical_correlation(field, 1000.0, [5.0], pairs_per_distance=500)
+    assert abs(correlations[0]) < 0.2
+
+
+def test_constant_field():
+    field = ConstantField(7.5)
+    assert field.value(0, 0) == 7.5
+    assert np.all(field.sample(np.zeros(4), np.ones(4)) == 7.5)

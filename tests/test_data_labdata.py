@@ -1,0 +1,69 @@
+"""Synthetic Intel-Lab trace tests."""
+
+import numpy as np
+
+from repro.data.labdata import (
+    LAB_HEIGHT_M,
+    LAB_MOTE_COUNT,
+    LAB_WIDTH_M,
+    generate_lab_deployment,
+    generate_lab_trace,
+)
+
+
+def test_deployment_shape():
+    motes = generate_lab_deployment(seed=0)
+    assert len(motes) == LAB_MOTE_COUNT
+    assert len({m.mote_id for m in motes}) == LAB_MOTE_COUNT
+    for mote in motes:
+        assert 0.0 <= mote.x <= LAB_WIDTH_M
+        assert 0.0 <= mote.y <= LAB_HEIGHT_M
+
+
+def test_trace_covers_every_mote_every_epoch():
+    motes = generate_lab_deployment(seed=0)
+    readings = list(generate_lab_trace(motes, epochs=5, seed=0))
+    assert len(readings) == 5 * LAB_MOTE_COUNT
+    epochs = {r.epoch for r in readings}
+    assert epochs == set(range(5))
+
+
+def test_trace_values_physically_plausible():
+    motes = generate_lab_deployment(seed=0)
+    readings = list(generate_lab_trace(motes, epochs=10, seed=0))
+    temps = [r.temperature for r in readings]
+    hums = [r.humidity for r in readings]
+    assert 5.0 < min(temps) and max(temps) < 40.0
+    assert 20.0 < min(hums) and max(hums) < 70.0
+
+
+def test_trace_spatially_correlated():
+    """Fig. 4's property: nearby motes report similar temperatures."""
+    motes = generate_lab_deployment(seed=0)
+    readings = [r for r in generate_lab_trace(motes, epochs=1, seed=0)]
+    by_mote = {r.mote_id: r.temperature for r in readings}
+    positions = {m.mote_id: (m.x, m.y) for m in motes}
+
+    near_diffs, far_diffs = [], []
+    ids = sorted(by_mote)
+    for i in ids:
+        for j in ids:
+            if i >= j:
+                continue
+            xi, yi = positions[i]
+            xj, yj = positions[j]
+            distance = np.hypot(xi - xj, yi - yj)
+            diff = abs(by_mote[i] - by_mote[j])
+            if distance < 5.0:
+                near_diffs.append(diff)
+            elif distance > 30.0:
+                far_diffs.append(diff)
+    assert near_diffs and far_diffs
+    assert np.mean(near_diffs) < np.mean(far_diffs)
+
+
+def test_trace_deterministic():
+    motes = generate_lab_deployment(seed=1)
+    a = [(r.epoch, r.mote_id, r.temperature) for r in generate_lab_trace(motes, 3, seed=2)]
+    b = [(r.epoch, r.mote_id, r.temperature) for r in generate_lab_trace(motes, 3, seed=2)]
+    assert a == b

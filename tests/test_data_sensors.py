@@ -1,0 +1,71 @@
+"""Sensor catalogue tests."""
+
+import pytest
+
+from repro.data.sensors import SensorCatalog, SensorSpec, standard_catalog
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SensorSpec("", "u", 0.0, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        SensorSpec("t", "u", 1.0, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        SensorSpec("t", "u", 0.0, 1.0, 0.0)
+
+
+def test_spec_span():
+    spec = SensorSpec("t", "degC", -10.0, 54.0, 0.1)
+    assert spec.span == pytest.approx(64.0)
+
+
+def test_catalog_lookup_and_errors():
+    catalog = standard_catalog()
+    assert "temp" in catalog
+    assert catalog["temp"].unit == "degC"
+    with pytest.raises(KeyError, match="known sensors"):
+        catalog["wind"]
+
+
+def test_catalog_duplicate_rejected():
+    spec = SensorSpec("t", "u", 0.0, 1.0, 0.1)
+    with pytest.raises(ValueError):
+        SensorCatalog([spec, spec])
+
+
+def test_catalog_order_and_names():
+    catalog = standard_catalog()
+    assert catalog.names[0] == "temp"
+    assert len(catalog) == 6
+    assert [spec.name for spec in catalog] == catalog.names
+
+
+def test_subset_preserves_given_order():
+    catalog = standard_catalog()
+    subset = catalog.subset(["x", "temp"])
+    assert subset.names == ["x", "temp"]
+
+
+def test_with_area_rewrites_coordinates_only():
+    catalog = standard_catalog(area_side_m=600.0)
+    assert catalog["x"].max_value == 600.0
+    assert catalog["y"].max_value == 600.0
+    assert catalog["temp"].max_value == standard_catalog()["temp"].max_value
+
+
+def test_standard_ranges_cover_default_fields():
+    """Generous ranges: the synthetic fields must never clamp (see §V-B
+    discussion in repro.data.sensors)."""
+    import numpy as np
+
+    from repro.data.relations import default_fields
+
+    catalog = standard_catalog(area_side_m=1000.0)
+    fields = default_fields(1000.0, seed=0)
+    rng = np.random.default_rng(0)
+    xs, ys = rng.uniform(0, 1000, 2000), rng.uniform(0, 1000, 2000)
+    for name, field in fields.items():
+        values = field.sample(xs, ys)
+        spec = catalog[name]
+        assert values.min() > spec.min_value, name
+        assert values.max() < spec.max_value, name

@@ -1,0 +1,101 @@
+"""End-to-end property tests across the whole stack.
+
+The central theorem of the reproduction: for *any* deployment, data, query
+and configuration, SENS-Join computes exactly the external join's result
+(quantization is conservative, Treecut/proxying loses nothing, filter
+pruning keeps every subtree point).  Hypothesis drives deployments and
+queries through the full pipeline.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.relations import SensorWorld
+from repro.joins.external import ExternalJoin
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import SensJoin, SensJoinConfig
+from repro.query.parser import parse_query
+from repro.sim.network import DeploymentConfig, deploy_uniform
+
+CONDITIONS = [
+    "A.temp - B.temp > {t}",
+    "|A.temp - B.temp| < {t} AND distance(A.x, A.y, B.x, B.y) > 150",
+    "A.temp - B.temp > {t} AND A.hum < 70",
+    "A.temp + B.temp > 2 * {t}",
+    "A.temp - B.temp > {t} OR B.light - A.light > 400",
+]
+
+
+@st.composite
+def scenario_params(draw):
+    seed = draw(st.integers(min_value=0, max_value=30))
+    condition = draw(st.sampled_from(CONDITIONS))
+    threshold = draw(
+        st.floats(min_value=0.1, max_value=4.0).map(lambda x: round(x, 2))
+    )
+    dmax = draw(st.sampled_from([0, 10, 30, 45]))
+    limit = draw(st.sampled_from([0, 120, 500]))
+    return seed, condition, threshold, dmax, limit
+
+
+@settings(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario_params())
+def test_sens_join_always_exact(params):
+    seed, condition, threshold, dmax, limit = params
+    config = DeploymentConfig(node_count=90, area_side_m=257.0, seed=seed)
+    network = deploy_uniform(config)
+    world = SensorWorld.homogeneous(network, seed=seed, area_side_m=257.0)
+    sql = (
+        "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE "
+        + condition.format(t=threshold)
+        + " ONCE"
+    )
+    query = parse_query(sql)
+    external = run_snapshot(network, world, query, ExternalJoin(), tree_seed=seed)
+    sens = run_snapshot(
+        network,
+        world,
+        query,
+        SensJoin(SensJoinConfig(dmax_bytes=dmax, subtree_limit_bytes=limit)),
+        tree_seed=seed,
+    )
+    assert external.result.signature() == sens.result.signature()
+
+
+def test_accounting_consistency(small_network, small_world, tail_query):
+    """Invariant 7: per-node counters sum to the totals."""
+    outcome = run_snapshot(small_network, small_world, tail_query(1.5), tree_seed=11)
+    stats = outcome.stats
+    per_node_total = sum(
+        stats.node_tx_packets(node_id) for node_id in small_network.node_ids
+    )
+    assert per_node_total == stats.total_tx_packets()
+    per_phase_total = sum(stats.tx_packets_by_phase().values())
+    assert per_phase_total == stats.total_tx_packets()
+
+
+def test_energy_consistent_with_packets(small_network, small_world, tail_query):
+    """Every counted packet must have been charged to a ledger."""
+    outcome = run_snapshot(small_network, small_world, tail_query(1.5), tree_seed=11)
+    ledger_packets = sum(
+        small_network.nodes[n].ledger.tx_packets for n in small_network.node_ids
+    )
+    assert ledger_packets == outcome.stats.total_tx_packets()
+    energy = sum(
+        small_network.nodes[n].ledger.total_energy for n in small_network.node_ids
+    )
+    assert energy > 0
+
+
+def test_snapshot_isolation_between_algorithms(small_network, small_world, tail_query):
+    """Both algorithms must see the same snapshot for fair comparison."""
+    query = tail_query(1.5)
+    a = run_snapshot(small_network, small_world, query, "external-join", tree_seed=11)
+    b = run_snapshot(small_network, small_world, query, "external-join", tree_seed=11)
+    assert a.result.signature() == b.result.signature()
+    assert a.total_transmissions == b.total_transmissions

@@ -1,0 +1,98 @@
+"""Adaptive per-round algorithm choice tests."""
+
+import pytest
+
+from repro.data.relations import SensorWorld
+from repro.joins.adaptive import AdaptiveJoin
+from repro.joins.runner import run_snapshot
+from repro.query.parser import parse_query
+from repro.query.query import JoinQuery, Once
+from repro.sim.network import DeploymentConfig, deploy_uniform
+
+
+@pytest.fixture()
+def setup():
+    network = deploy_uniform(DeploymentConfig(node_count=150, area_side_m=332.0, seed=6))
+    world = SensorWorld.homogeneous(network, seed=6, area_side_m=332.0, drift_rate=0.0001)
+    return network, world
+
+
+def selective_query():
+    return parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 12.5 SAMPLE PERIOD 60"
+    )
+
+
+def unselective_query():
+    return parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 0.1 SAMPLE PERIOD 60"
+    )
+
+
+def test_pessimistic_start_switches_to_sens(setup):
+    """Start assuming 90% fraction (external); after measuring a selective
+    round, the planner must switch to SENS-Join."""
+    network, world = setup
+    executor = AdaptiveJoin(network, world, selective_query(), tree_seed=6,
+                            initial_fraction=0.9)
+    _, first = executor.run_round(0.0)
+    assert first == "external-join"
+    _, second = executor.run_round(60.0)
+    assert second == "sens-join"
+
+
+def test_unselective_query_stays_external(setup):
+    network, world = setup
+    executor = AdaptiveJoin(network, world, unselective_query(), tree_seed=6,
+                            initial_fraction=0.9)
+    for round_index in range(3):
+        _, name = executor.run_round(round_index * 60.0)
+        assert name == "external-join", round_index
+
+
+def test_results_exact_regardless_of_choice(setup):
+    network, world = setup
+    query = selective_query()
+    executor = AdaptiveJoin(network, world, query, tree_seed=6, initial_fraction=0.9)
+    for round_index in range(3):
+        t = round_index * 60.0
+        outcome, _name = executor.run_round(t)
+        once = JoinQuery(query.select, query.relations, query.where, Once())
+        reference = run_snapshot(
+            network, world, once, "external-join", tree_seed=6, snapshot_time=t
+        )
+        assert outcome.result.signature() == reference.result.signature()
+
+
+def test_history_records_choices_and_fractions(setup):
+    network, world = setup
+    executor = AdaptiveJoin(network, world, selective_query(), tree_seed=6)
+    executor.run_round(0.0)
+    executor.run_round(60.0)
+    assert len(executor.history) == 2
+    for name, fraction in executor.history:
+        assert name in ("sens-join", "external-join")
+        assert 0.0 <= fraction <= 1.0
+
+
+def test_adaptive_beats_static_worst_choice(setup):
+    """Across rounds of a selective query, the adaptive executor's total
+    cost must be below always-running the external join (it pays at most
+    one exploratory round)."""
+    network, world = setup
+    query = selective_query()
+    executor = AdaptiveJoin(network, world, query, tree_seed=6, initial_fraction=0.9)
+    adaptive_total = sum(
+        executor.run_round(r * 60.0)[0].total_transmissions for r in range(4)
+    )
+    once = JoinQuery(query.select, query.relations, query.where, Once())
+    external_total = 0
+    for round_index in range(4):
+        outcome = run_snapshot(
+            network, world, once, "external-join", tree_seed=6,
+            snapshot_time=round_index * 60.0,
+        )
+        external_total += outcome.total_transmissions
+    assert adaptive_total < external_total

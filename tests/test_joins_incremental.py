@@ -1,0 +1,133 @@
+"""Incremental continuous SENS-Join tests (the paper's §VIII future work)."""
+
+import pytest
+
+from repro.data.relations import SensorWorld
+from repro.joins.incremental import IncrementalSensJoin
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import SensJoinConfig
+from repro.query.parser import parse_query
+from repro.query.query import JoinQuery, Once
+from repro.sim.network import DeploymentConfig, deploy_uniform
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = deploy_uniform(DeploymentConfig(node_count=180, area_side_m=364.0, seed=17))
+    world = SensorWorld.homogeneous(
+        network, seed=17, area_side_m=364.0, drift_rate=0.0001
+    )
+    query = parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 11.0 SAMPLE PERIOD 60"
+    )
+    return network, world, query
+
+
+def snapshot_reference(network, world, query, algorithm, t):
+    once = JoinQuery(query.select, query.relations, query.where, Once())
+    return run_snapshot(network, world, once, algorithm, tree_seed=17, snapshot_time=t)
+
+
+def test_every_round_exact(setup):
+    """Each round's result equals the external join on the same snapshot."""
+    network, world, query = setup
+    executor = IncrementalSensJoin(network, world, query, tree_seed=17)
+    for round_index in range(4):
+        t = round_index * 60.0
+        outcome = executor.run_round(t)
+        reference = snapshot_reference(network, world, query, "external-join", t)
+        assert outcome.result.signature() == reference.result.signature(), round_index
+
+
+def test_steady_state_cheaper_than_first_round(setup):
+    network, world, query = setup
+    executor = IncrementalSensJoin(network, world, query, tree_seed=17)
+    costs = [executor.run_round(r * 60.0).total_transmissions for r in range(4)]
+    assert min(costs[1:]) < costs[0]
+
+
+def test_collection_shrinks_under_slow_drift(setup):
+    network, world, query = setup
+    executor = IncrementalSensJoin(network, world, query, tree_seed=17)
+    first = executor.run_round(0.0)
+    second = executor.run_round(60.0)
+    phase = "join-attribute-collection"
+    assert second.per_phase_transmissions().get(phase, 0) < first.per_phase_transmissions()[phase]
+    assert second.details["collection_unchanged_subtrees"] > 0
+
+
+def test_filter_suppression_reported(setup):
+    network, world, query = setup
+    executor = IncrementalSensJoin(network, world, query, tree_seed=17)
+    executor.run_round(0.0)
+    second = executor.run_round(60.0)
+    assert second.details["filter_suppressed"] >= 0
+    assert "cache_bytes_max" in second.details
+    assert second.details["cache_bytes_max"] > 0
+
+
+def test_frozen_field_costs_almost_nothing_after_round0():
+    network = deploy_uniform(DeploymentConfig(node_count=120, area_side_m=297.0, seed=4))
+    world = SensorWorld.homogeneous(network, seed=4, area_side_m=297.0, drift_rate=0.0)
+    query = parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 10.0 SAMPLE PERIOD 60"
+    )
+    executor = IncrementalSensJoin(network, world, query, tree_seed=4)
+    first = executor.run_round(0.0)
+    second = executor.run_round(60.0)
+    # Nothing changed: no collection or filter traffic at all; only the
+    # final phase (fresh result tuples) remains.
+    phases = second.per_phase_transmissions()
+    assert phases.get("join-attribute-collection", 0) == 0
+    assert phases.get("filter-dissemination", 0) == 0
+    assert second.total_transmissions < first.total_transmissions
+
+
+def test_treecut_disabled_by_default(setup):
+    network, world, query = setup
+    executor = IncrementalSensJoin(network, world, query, tree_seed=17)
+    assert executor.config.dmax_bytes == 0
+    executor.run_round(0.0)
+    assert not any(cache.exited for cache in executor.caches.values())
+
+
+def test_explicit_treecut_still_exact(setup):
+    network, world, query = setup
+    executor = IncrementalSensJoin(
+        network, world, query, config=SensJoinConfig(), tree_seed=17
+    )
+    outcome = executor.run_round(0.0)
+    reference = snapshot_reference(network, world, query, "external-join", 0.0)
+    assert outcome.result.signature() == reference.result.signature()
+    assert any(cache.exited for cache in executor.caches.values())
+
+
+def test_non_quadtree_representation_rejected(setup):
+    network, world, query = setup
+    with pytest.raises(ValueError, match="quadtree"):
+        IncrementalSensJoin(
+            network, world, query, config=SensJoinConfig(representation="raw")
+        )
+
+
+def test_membership_changes_handled():
+    """Selection predicates over drifting readings flip node flags between
+    rounds; the deltas must track that (a formerly-contributing node's point
+    disappears)."""
+    network = deploy_uniform(DeploymentConfig(node_count=120, area_side_m=297.0, seed=4))
+    world = SensorWorld.homogeneous(network, seed=4, area_side_m=297.0, drift_rate=0.005)
+    query = parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp > 22.0 AND A.temp - B.temp > 2.0 SAMPLE PERIOD 60"
+    )
+    executor = IncrementalSensJoin(network, world, query, tree_seed=4)
+    for round_index in range(3):
+        t = round_index * 60.0
+        outcome = executor.run_round(t)
+        once = JoinQuery(query.select, query.relations, query.where, Once())
+        reference = run_snapshot(
+            network, world, once, "external-join", tree_seed=4, snapshot_time=t
+        )
+        assert outcome.result.signature() == reference.result.signature(), round_index

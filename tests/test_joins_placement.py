@@ -1,0 +1,79 @@
+"""Join-location analysis tests (§IV-E)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.joins.placement import analyze_join_location, hop_distances
+from repro.sim.network import DeploymentConfig, deploy_uniform
+from repro.sim.node import BASE_STATION_ID
+
+
+def test_hop_distances_match_tree_depths(small_network, small_tree):
+    hops = hop_distances(small_network, BASE_STATION_ID)
+    for node_id in small_network.sensor_node_ids:
+        assert hops[node_id] == small_tree.depth(node_id)
+
+
+def test_hop_distances_unknown_source(small_network):
+    with pytest.raises(NetworkError):
+        hop_distances(small_network, 99999)
+
+
+def test_base_station_optimal_when_result_large(small_network):
+    """§IV-E: after filtering, the result exceeds the input — the base
+    station wins because it never ships the result anywhere."""
+    contributors = small_network.sensor_node_ids[:20]
+    report = analyze_join_location(
+        small_network,
+        contributors,
+        tuple_bytes=10,
+        result_rows=200,        # result much larger than the 20 inputs
+        result_row_bytes=8,
+    )
+    assert report.base_station_is_optimal
+    assert report.base_station.result_byte_hops == 0.0
+
+
+def test_mediator_can_win_with_tiny_result_far_regions(small_network):
+    """The related-work regime: clustered inputs far from the base station
+    and a tiny result favour an in-network location."""
+    # Contributors: the nodes farthest from the base station.
+    hops = hop_distances(small_network, BASE_STATION_ID)
+    far = sorted(small_network.sensor_node_ids, key=lambda n: -hops[n])[:15]
+    report = analyze_join_location(
+        small_network,
+        far,
+        tuple_bytes=10,
+        result_rows=1,          # nearly empty result
+        result_row_bytes=4,
+    )
+    assert not report.base_station_is_optimal
+    assert report.advantage > 1.0
+
+
+def test_candidate_costs_are_decomposed(small_network):
+    contributors = small_network.sensor_node_ids[:10]
+    report = analyze_join_location(
+        small_network, contributors, tuple_bytes=6, result_rows=5, result_row_bytes=4
+    )
+    best = report.best_in_network
+    assert best.total == best.input_byte_hops + best.result_byte_hops
+    assert report.candidates_evaluated > 0
+
+
+def test_explicit_candidates_respected(small_network):
+    contributors = small_network.sensor_node_ids[:10]
+    candidate = contributors[0]
+    report = analyze_join_location(
+        small_network, contributors, tuple_bytes=6, result_rows=0,
+        result_row_bytes=4, candidates=[candidate],
+    )
+    assert report.best_in_network.location == candidate
+    assert report.candidates_evaluated == 1
+
+
+def test_no_contributors_degenerates_gracefully(small_network):
+    report = analyze_join_location(
+        small_network, [], tuple_bytes=6, result_rows=0, result_row_bytes=4
+    )
+    assert report.base_station.total == 0.0

@@ -1,0 +1,73 @@
+"""Planner tests: the Fig. 10 regime split as decisions."""
+
+import pytest
+
+from repro.joins.base import TupleFormat
+from repro.joins.external import ExternalJoin
+from repro.joins.planner import estimate_costs, recommend_algorithm
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import SensJoin
+from repro.query.parser import parse_query
+
+
+@pytest.fixture()
+def fmt(small_world, tail_query):
+    return TupleFormat(tail_query(1.0), small_world)
+
+
+def test_fraction_validated(small_tree, fmt):
+    with pytest.raises(ValueError):
+        estimate_costs(small_tree, fmt, 1.5, 48)
+
+
+def test_low_fraction_recommends_sens(small_tree, fmt):
+    name, estimate = recommend_algorithm(small_tree, fmt, 0.05, 48)
+    assert name == "sens-join"
+    assert estimate.predicted_savings > 0
+
+
+def test_high_fraction_recommends_external(small_tree, fmt):
+    name, estimate = recommend_algorithm(small_tree, fmt, 0.95, 48)
+    assert name == "external-join"
+    assert not estimate.sens_wins
+
+
+def test_estimate_monotone_in_fraction(small_tree, fmt):
+    costs = [estimate_costs(small_tree, fmt, f, 48).sens_tx for f in (0.05, 0.3, 0.8)]
+    assert costs == sorted(costs)
+    # External is fraction-independent.
+    externals = {estimate_costs(small_tree, fmt, f, 48).external_tx for f in (0.05, 0.8)}
+    assert len(externals) == 1
+
+
+def test_external_estimate_is_exact(small_network, small_world, small_tree, tail_query):
+    """The external-join estimate is the exact byte-packing cost."""
+    query = tail_query(1.0)
+    fmt = TupleFormat(query, small_world)
+    estimate = estimate_costs(small_tree, fmt, 0.05, 48)
+    outcome = run_snapshot(
+        small_network, small_world, query, ExternalJoin(), tree=small_tree, tree_seed=11
+    )
+    assert estimate.external_tx == outcome.total_transmissions
+
+
+def test_decisions_match_reality_at_extremes(small_network, small_world, small_tree, tail_query):
+    """The planner's *choice* must agree with measured costs at both ends."""
+    fmt = TupleFormat(tail_query(1.0), small_world)
+    for threshold, fraction in ((2.5, 0.05), (0.05, 0.95)):
+        query = tail_query(threshold)
+        external = run_snapshot(
+            small_network, small_world, query, ExternalJoin(), tree=small_tree,
+            tree_seed=11,
+        )
+        sens = run_snapshot(
+            small_network, small_world, query, SensJoin(), tree=small_tree,
+            tree_seed=11,
+        )
+        actual_winner = (
+            "sens-join"
+            if sens.total_transmissions < external.total_transmissions
+            else "external-join"
+        )
+        predicted_winner, _ = recommend_algorithm(small_tree, fmt, fraction, 48)
+        assert predicted_winner == actual_winner, (threshold, fraction)

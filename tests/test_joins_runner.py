@@ -1,0 +1,132 @@
+"""Runner tests: snapshots, continuous queries, §IV-F failure recovery."""
+
+import pytest
+
+from repro.data.relations import SensorWorld
+from repro.errors import ExecutionAborted
+from repro.joins.runner import (
+    NetworkFailure,
+    make_algorithm,
+    run_continuous,
+    run_snapshot,
+    run_with_failures,
+)
+from repro.query.parser import parse_query
+from repro.routing.dissemination import QUERY_DISSEMINATION_PHASE
+from repro.sim.network import DeploymentConfig, deploy_uniform
+
+
+def test_make_algorithm_resolution():
+    assert make_algorithm("sens-join").name == "sens-join"
+    assert make_algorithm("external-join").name == "external-join"
+    instance = make_algorithm("sens-join")
+    assert make_algorithm(instance) is instance
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        make_algorithm("hash-join")
+
+
+def test_run_snapshot_resets_accounting(small_network, small_world, tail_query):
+    first = run_snapshot(small_network, small_world, tail_query(1.5), tree_seed=11)
+    second = run_snapshot(small_network, small_world, tail_query(1.5), tree_seed=11)
+    assert first.total_transmissions == second.total_transmissions
+
+
+def test_query_dissemination_phase_separate(small_network, small_world, tail_query):
+    outcome = run_snapshot(
+        small_network, small_world, tail_query(1.5),
+        disseminate_query=True, tree_seed=11,
+    )
+    phases = outcome.stats.tx_packets_by_phase()
+    assert QUERY_DISSEMINATION_PHASE in phases
+    # The comparison metric excludes it.
+    assert outcome.total_transmissions == sum(
+        count for phase, count in phases.items() if phase != QUERY_DISSEMINATION_PHASE
+    )
+
+
+def test_run_continuous_yields_independent_rounds(small_network):
+    world = SensorWorld.homogeneous(small_network, seed=11, drift_rate=0.05)
+    query = parse_query(
+        "SELECT A.hum, B.hum FROM sensors A, sensors B "
+        "WHERE A.temp - B.temp > 1.2 SAMPLE PERIOD 60"
+    )
+    outcomes = run_continuous(small_network, world, query, executions=3, tree_seed=11)
+    assert len(outcomes) == 3
+    # Drifting fields: the result changes between rounds (almost surely).
+    counts = [outcome.result.match_count for outcome in outcomes]
+    assert len(set(counts)) > 1 or counts[0] == 0
+
+
+def test_run_continuous_requires_sample_period(small_network, small_world, tail_query):
+    with pytest.raises(ValueError, match="SAMPLE PERIOD"):
+        run_continuous(small_network, small_world, tail_query(1.0))
+
+
+def test_run_continuous_requires_positive_rounds(small_network, small_world):
+    query = parse_query(
+        "SELECT A.temp FROM sensors A, sensors B WHERE A.temp - B.temp > 1 SAMPLE PERIOD 5"
+    )
+    with pytest.raises(ValueError):
+        run_continuous(small_network, small_world, query, executions=0)
+
+
+class TestFailureRecovery:
+    @pytest.fixture()
+    def fresh_network(self):
+        config = DeploymentConfig(node_count=150, area_side_m=332.0, seed=21)
+        return deploy_uniform(config)
+
+    @pytest.fixture()
+    def fresh_world(self, fresh_network):
+        return SensorWorld.homogeneous(fresh_network, seed=21, area_side_m=332.0)
+
+    def test_no_failures_zero_retries(self, fresh_network, fresh_world, tail_query):
+        outcome = run_with_failures(fresh_network, fresh_world, tail_query(1.0))
+        assert outcome.details["retries"] == 0.0
+
+    def test_node_failure_triggers_reexecution(self, fresh_network, fresh_world, tail_query):
+        victim = fresh_network.sensor_node_ids[10]
+        failures = [NetworkFailure("node", victim, attempt=0)]
+        outcome = run_with_failures(
+            fresh_network, fresh_world, tail_query(1.0), failures=failures
+        )
+        assert outcome.details["retries"] == 1.0
+        # The dead node contributes nothing.
+        assert victim not in outcome.result.all_contributing_nodes()
+
+    def test_link_failure_triggers_reexecution(self, fresh_network, fresh_world, tail_query):
+        node = fresh_network.sensor_node_ids[0]
+        neighbour = sorted(fresh_network.neighbours(node))[0]
+        failures = [NetworkFailure("link", node, neighbour, attempt=0)]
+        outcome = run_with_failures(
+            fresh_network, fresh_world, tail_query(1.0), failures=failures
+        )
+        assert outcome.details["retries"] == 1.0
+
+    def test_result_still_exact_after_recovery(self, fresh_network, fresh_world, tail_query):
+        victim = fresh_network.sensor_node_ids[5]
+        failures = [NetworkFailure("node", victim, attempt=0)]
+        query = tail_query(1.0)
+        sens = run_with_failures(
+            fresh_network, fresh_world, query, "sens-join", failures=failures
+        )
+        external = run_snapshot(
+            fresh_network, fresh_world, query, "external-join",
+            snapshot_time=1.0,  # same snapshot time as the retry
+        )
+        assert sens.result.signature() == external.result.signature()
+
+    def test_failures_exhaust_retries(self, fresh_network, fresh_world, tail_query):
+        failures = [
+            NetworkFailure("node", fresh_network.sensor_node_ids[i], attempt=i)
+            for i in range(3)
+        ]
+        with pytest.raises(ExecutionAborted):
+            run_with_failures(
+                fresh_network, fresh_world, tail_query(1.0),
+                failures=failures, max_retries=1,
+            )
+
+    def test_unknown_failure_kind(self):
+        with pytest.raises(ValueError):
+            NetworkFailure("meteor", 1).apply(None)

@@ -1,0 +1,202 @@
+"""Join evaluation tests: exact vs brute force, aggregates, conservativeness."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.evaluate import CellBounds, Row, conservative_semijoin, evaluate_join
+from repro.query.parser import parse_query
+
+
+def make_rows(values, attr="temp", extra=None):
+    rows = []
+    for index, value in enumerate(values, start=1):
+        data = {attr: float(value)}
+        if extra:
+            data.update({k: v[index - 1] for k, v in extra.items()})
+        rows.append(Row(index, data))
+    return rows
+
+
+class TestExactJoin:
+    def test_simple_theta_join_matches_brute_force(self):
+        query = parse_query(
+            "SELECT A.temp, B.temp FROM s A, s B WHERE A.temp - B.temp > 2 ONCE"
+        )
+        rows = make_rows([1.0, 3.0, 6.0, 10.0])
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        brute = [
+            (a.node_id, b.node_id)
+            for a, b in itertools.product(rows, rows)
+            if a.values["temp"] - b.values["temp"] > 2
+        ]
+        assert sorted(result.combinations) == sorted(brute)
+        assert result.row_count == len(brute)
+
+    def test_select_values_computed(self):
+        query = parse_query(
+            "SELECT A.temp - B.temp AS diff FROM s A, s B WHERE A.temp - B.temp > 2 ONCE"
+        )
+        rows = make_rows([1.0, 5.0])
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        assert result.rows == [{"diff": 4.0}]
+
+    def test_selection_predicates_applied(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B WHERE A.temp > 4 AND A.temp - B.temp > 0 ONCE"
+        )
+        rows = make_rows([1.0, 5.0])
+        with_selection = evaluate_join(query, {"A": rows, "B": rows})
+        without = evaluate_join(query, {"A": rows, "B": rows}, apply_selections=False)
+        assert with_selection.match_count == 1  # only A=5 passes; joins B=1
+        # Without the A.temp>4 selection the cross pairs with diff>0 remain.
+        assert without.match_count >= with_selection.match_count
+
+    def test_empty_relation_empty_result(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp > B.temp ONCE")
+        result = evaluate_join(query, {"A": [], "B": make_rows([1.0])})
+        assert result.match_count == 0 and result.rows == []
+        assert result.all_contributing_nodes() == set()
+
+    def test_contributing_nodes_per_alias(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp - B.temp > 2 ONCE")
+        rows = make_rows([0.0, 5.0])
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        assert result.contributing_nodes("A") == {2}
+        assert result.contributing_nodes("B") == {1}
+        assert result.all_contributing_nodes() == {1, 2}
+        with pytest.raises(QueryError):
+            result.contributing_nodes("Z")
+
+    def test_aggregate_min_distance(self):
+        query = parse_query(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM s A, s B "
+            "WHERE A.temp - B.temp > 1 ONCE"
+        )
+        rows = [
+            Row(1, {"temp": 10.0, "x": 0.0, "y": 0.0}),
+            Row(2, {"temp": 5.0, "x": 3.0, "y": 4.0}),
+            Row(3, {"temp": 5.0, "x": 6.0, "y": 8.0}),
+        ]
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        assert result.row_count == 1
+        assert list(result.rows[0].values()) == [pytest.approx(5.0)]
+
+    def test_aggregate_over_empty_result_is_empty(self):
+        query = parse_query("SELECT MIN(A.temp) FROM s A, s B WHERE A.temp - B.temp > 99 ONCE")
+        rows = make_rows([1.0, 2.0])
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        assert result.rows == []
+
+    def test_count_star_over_empty_result_is_zero(self):
+        query = parse_query("SELECT COUNT(*) FROM s A, s B WHERE A.temp - B.temp > 99 ONCE")
+        rows = make_rows([1.0, 2.0])
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        assert result.rows == [{"COUNT(*)": 0.0}]
+
+    def test_three_way_join(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B, s C "
+            "WHERE A.temp - B.temp > 1 AND B.temp - C.temp > 1 ONCE"
+        )
+        rows = make_rows([1.0, 3.0, 5.0])
+        result = evaluate_join(query, {"A": rows, "B": rows, "C": rows})
+        assert sorted(result.combinations) == [(3, 2, 1)]
+
+    def test_signature_is_order_independent(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp != B.temp ONCE")
+        rows = make_rows([1.0, 2.0])
+        a = evaluate_join(query, {"A": rows, "B": rows})
+        b = evaluate_join(query, {"A": list(reversed(rows)), "B": rows})
+        assert a.signature() == b.signature()
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20, allow_nan=False), min_size=0, max_size=8),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    def test_matches_brute_force_random(self, temps, threshold):
+        query = parse_query(
+            f"SELECT A.temp FROM s A, s B WHERE |A.temp - B.temp| < {threshold} ONCE"
+        )
+        rows = make_rows(temps)
+        result = evaluate_join(query, {"A": rows, "B": rows})
+        brute = sorted(
+            (a.node_id, b.node_id)
+            for a, b in itertools.product(rows, rows)
+            if abs(a.values["temp"] - b.values["temp"]) < threshold
+        )
+        assert sorted(result.combinations) == brute
+
+
+class TestConservativeSemijoin:
+    def cells_for(self, values, width=0.5):
+        return [
+            CellBounds({"temp": v - width / 2}, {"temp": v + width / 2}) for v in values
+        ]
+
+    def test_survivors_cover_exact_joiners(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp - B.temp > 2 ONCE")
+        values = [0.0, 1.0, 3.5, 9.0]
+        survivors = conservative_semijoin(
+            query, {"A": self.cells_for(values), "B": self.cells_for(values)}
+        )
+        # Exact joiners: A index 3 (9.0) joins B 0,1,2; A index 2 (3.5) joins B 0,1.
+        assert {2, 3} <= survivors["A"]
+        assert {0, 1} <= survivors["B"]
+
+    def test_definitely_disjoint_pairs_pruned(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE |A.temp - B.temp| < 1 ONCE")
+        survivors = conservative_semijoin(
+            query,
+            {"A": self.cells_for([0.0]), "B": self.cells_for([50.0])},
+        )
+        assert survivors["A"] == set() and survivors["B"] == set()
+
+    def test_empty_side_empty_everything(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp > B.temp ONCE")
+        survivors = conservative_semijoin(query, {"A": self.cells_for([1.0]), "B": []})
+        assert survivors == {"A": set(), "B": set()}
+
+    def test_single_relation_rejected(self):
+        query = parse_query("SELECT temp FROM sensors ONCE")
+        with pytest.raises(QueryError):
+            conservative_semijoin(query, {"sensors": []})
+
+    def test_three_way_semijoin(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B, s C "
+            "WHERE A.temp - B.temp > 2 AND B.temp - C.temp > 2 ONCE"
+        )
+        cells = self.cells_for([0.0, 3.0, 6.0], width=0.1)
+        survivors = conservative_semijoin(query, {"A": cells, "B": cells, "C": cells})
+        assert survivors["A"] == {2}
+        assert survivors["B"] == {1}
+        assert survivors["C"] == {0}
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20, allow_nan=False), min_size=1, max_size=6),
+        st.lists(st.floats(min_value=-20, max_value=20, allow_nan=False), min_size=1, max_size=6),
+        st.floats(min_value=0.1, max_value=5, allow_nan=False),
+        st.floats(min_value=0.05, max_value=2),
+    )
+    def test_no_false_negatives_random(self, temps_a, temps_b, threshold, width):
+        """Invariant 4 of DESIGN.md: conservative semijoin never prunes a
+        cell that contains an actually-joining value."""
+        query = parse_query(
+            f"SELECT A.temp FROM s A, s B WHERE |A.temp - B.temp| < {threshold} ONCE"
+        )
+        rows_a, rows_b = make_rows(temps_a), make_rows(temps_b)
+        exact = evaluate_join(query, {"A": rows_a, "B": rows_b})
+        cells_a = self.cells_for(temps_a, width)
+        cells_b = self.cells_for(temps_b, width)
+        survivors = conservative_semijoin(query, {"A": cells_a, "B": cells_b})
+        for node_id in exact.contributing_nodes("A"):
+            assert (node_id - 1) in survivors["A"]
+        for node_id in exact.contributing_nodes("B"):
+            assert (node_id - 1) in survivors["B"]

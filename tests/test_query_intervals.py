@@ -1,0 +1,175 @@
+"""Interval arithmetic and TriBool tests, including soundness properties."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.intervals import Interval, TriBool
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def interval_with_point(draw):
+    """An interval plus a value guaranteed inside it."""
+    a = draw(finite)
+    b = draw(finite)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(st.floats(min_value=0.0, max_value=1.0))
+    point = lo + t * (hi - lo)
+    return Interval(lo, hi), point
+
+
+class TestTriBool:
+    def test_and_truth_table(self):
+        T, F, M = TriBool.TRUE, TriBool.FALSE, TriBool.MAYBE
+        assert (T & T) is T
+        assert (T & M) is M
+        assert (M & M) is M
+        assert (F & T) is F
+        assert (F & M) is F
+
+    def test_or_truth_table(self):
+        T, F, M = TriBool.TRUE, TriBool.FALSE, TriBool.MAYBE
+        assert (T | F) is T
+        assert (M | F) is M
+        assert (F | F) is F
+        assert (M | T) is T
+
+    def test_negate(self):
+        assert TriBool.TRUE.negate() is TriBool.FALSE
+        assert TriBool.FALSE.negate() is TriBool.TRUE
+        assert TriBool.MAYBE.negate() is TriBool.MAYBE
+
+    def test_possible_and_definite(self):
+        assert TriBool.TRUE.possible and TriBool.TRUE.definite
+        assert TriBool.MAYBE.possible and not TriBool.MAYBE.definite
+        assert not TriBool.FALSE.possible
+
+    def test_of(self):
+        assert TriBool.of(True) is TriBool.TRUE
+        assert TriBool.of(False) is TriBool.FALSE
+
+
+class TestIntervalBasics:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_point_helpers(self):
+        p = Interval.point(3.0)
+        assert p.is_point and p.width == 0.0 and p.contains(3.0)
+
+    def test_arithmetic_examples(self):
+        a, b = Interval(1, 2), Interval(3, 5)
+        assert a + b == Interval(4, 7)
+        assert a - b == Interval(-4, -1)
+        assert -a == Interval(-2, -1)
+        assert a * b == Interval(3, 10)
+        assert Interval(-2, 3) * Interval(-1, 4) == Interval(-8, 12)
+
+    def test_division_avoiding_zero(self):
+        assert Interval(1, 2) / Interval(2, 4) == Interval(0.25, 1.0)
+
+    def test_division_across_zero_is_whole_line(self):
+        result = Interval(1, 2) / Interval(-1, 1)
+        assert result.lo == -math.inf and result.hi == math.inf
+
+    def test_abs(self):
+        assert Interval(2, 3).abs() == Interval(2, 3)
+        assert Interval(-3, -2).abs() == Interval(2, 3)
+        assert Interval(-2, 3).abs() == Interval(0, 3)
+
+    def test_square_tighter_than_mul(self):
+        spanning = Interval(-2, 3)
+        assert spanning.square() == Interval(0, 9)
+        assert spanning * spanning == Interval(-6, 9)  # naive product is looser
+
+    def test_sqrt_clamps_negative(self):
+        assert Interval(-4, 9).sqrt() == Interval(0, 3)
+
+    def test_hull_min_max(self):
+        a, b = Interval(0, 2), Interval(1, 5)
+        assert a.hull(b) == Interval(0, 5)
+        assert a.min_with(b) == Interval(0, 2)
+        assert a.max_with(b) == Interval(1, 5)
+
+    def test_distance(self):
+        d = Interval.distance(
+            Interval.point(0), Interval.point(0), Interval.point(3), Interval.point(4)
+        )
+        assert d == Interval(5, 5)
+
+
+class TestComparisons:
+    def test_lt_cases(self):
+        assert Interval(0, 1).lt(Interval(2, 3)) is TriBool.TRUE
+        assert Interval(2, 3).lt(Interval(0, 1)) is TriBool.FALSE
+        assert Interval(0, 2).lt(Interval(1, 3)) is TriBool.MAYBE
+
+    def test_le_boundary(self):
+        assert Interval(0, 1).le(Interval(1, 2)) is TriBool.TRUE
+        assert Interval(1.5, 2).le(Interval(0, 1)) is TriBool.FALSE
+
+    def test_eq_cases(self):
+        assert Interval.point(2).eq(Interval.point(2)) is TriBool.TRUE
+        assert Interval(0, 1).eq(Interval(2, 3)) is TriBool.FALSE
+        assert Interval(0, 2).eq(Interval(1, 3)) is TriBool.MAYBE
+
+    def test_ne_is_negated_eq(self):
+        assert Interval.point(2).ne(Interval.point(2)) is TriBool.FALSE
+        assert Interval(0, 1).ne(Interval(2, 3)) is TriBool.TRUE
+
+
+class TestSoundness:
+    """Interval results must contain every pointwise result."""
+
+    @given(interval_with_point(), interval_with_point())
+    def test_add_sub_mul_contain_pointwise(self, ap, bp):
+        (A, a), (B, b) = ap, bp
+        assert (A + B).contains(a + b)
+        assert (A - B).contains(a - b)
+        product = A * B
+        # Multiplication of large floats can round; allow tiny tolerance.
+        assert product.lo - abs(product.lo) * 1e-12 - 1e-9 <= a * b
+        assert a * b <= product.hi + abs(product.hi) * 1e-12 + 1e-9
+
+    @given(interval_with_point())
+    def test_abs_neg_contain_pointwise(self, ap):
+        A, a = ap
+        assert A.abs().contains(abs(a))
+        assert (-A).contains(-a)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_comparisons_never_false_when_true(self, ap, bp):
+        (A, a), (B, b) = ap, bp
+        if a < b:
+            assert A.lt(B).possible
+        if a <= b:
+            assert A.le(B).possible
+        if a > b:
+            assert A.gt(B).possible
+
+    @given(interval_with_point(), interval_with_point())
+    def test_definite_implies_pointwise(self, ap, bp):
+        (A, a), (B, b) = ap, bp
+        if A.lt(B).definite:
+            assert a < b
+        if A.le(B).definite:
+            assert a <= b
+
+    @given(
+        interval_with_point(), interval_with_point(),
+        interval_with_point(), interval_with_point(),
+    )
+    def test_distance_contains_pointwise(self, x1p, y1p, x2p, y2p):
+        (X1, x1), (Y1, y1), (X2, x2), (Y2, y2) = x1p, y1p, x2p, y2p
+        exact = math.hypot(x1 - x2, y1 - y2)
+        bound = Interval.distance(X1, Y1, X2, Y2)
+        assert bound.lo - 1e-6 <= exact <= bound.hi + max(1e-6, bound.hi * 1e-9)

@@ -1,0 +1,275 @@
+"""Parser tests: the paper's queries, round-trips, and error cases."""
+
+import pytest
+
+from repro.data.sensors import standard_catalog
+from repro.errors import BindingError, ParseError
+from repro.query.expressions import Abs, And, Compare, Distance
+from repro.query.parser import parse_query, tokenize
+from repro.query.query import Once, SamplePeriod
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a.b, 1.5 FROM x")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "op", "ident", "op", "number", "keyword", "ident", "eof"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From")
+        assert tokens[0].text == "SELECT" and tokens[1].text == "FROM"
+
+    def test_scientific_notation(self):
+        tokens = tokenize("1.5e-3 2E+6 7e2")
+        assert [t.text for t in tokens[:-1]] == ["1.5e-3", "2E+6", "7e2"]
+
+    def test_junk_character_rejected(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("SELECT #")
+        assert exc.value.position == 7
+
+
+class TestPaperQueries:
+    def test_q1_parses(self):
+        query = parse_query(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) "
+            "FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE"
+        )
+        assert query.is_aggregate
+        assert query.is_self_join
+        assert query.aliases == ["A", "B"]
+        assert query.join_attributes("A") == ["temp"]
+        assert query.full_tuple_attributes("A") == ["temp", "x", "y"]
+        assert query.join_attribute_ratio("A") == pytest.approx(1 / 3)
+        assert isinstance(query.mode, Once)
+
+    def test_q2_parses(self):
+        query = parse_query(
+            "SELECT |A.hum - B.hum|, |A.pres - B.pres| "
+            "FROM Sensors A, Sensors B "
+            "WHERE |A.temp - B.temp| < 0.3 "
+            "AND distance(A.x, A.y, B.x, B.y) > 100 ONCE"
+        )
+        assert not query.is_aggregate
+        assert query.join_attributes("A") == ["temp", "x", "y"]
+        assert query.full_tuple_attributes("A") == ["hum", "pres", "temp", "x", "y"]
+        assert query.join_attribute_ratio("A") == pytest.approx(0.6)
+        conjuncts = query.join_predicates
+        assert len(conjuncts) == 2
+        assert isinstance(conjuncts[0], Compare)
+        assert isinstance(conjuncts[0].left, Abs)
+        assert isinstance(conjuncts[1].left, Distance)
+
+    def test_sample_period(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp > B.temp SAMPLE PERIOD 30")
+        assert isinstance(query.mode, SamplePeriod)
+        assert query.mode.seconds == 30.0
+
+
+class TestRoundTrip:
+    QUERIES = [
+        "SELECT A.temp FROM s A, s B WHERE A.temp > B.temp ONCE",
+        "SELECT MIN(A.temp) FROM s A, s B WHERE A.temp - B.temp > 1 ONCE",
+        "SELECT COUNT(*) FROM s A, s B WHERE A.temp = B.temp ONCE",
+        "SELECT A.x AS pos FROM s A, s B WHERE A.x * 2 < B.y + 1 ONCE",
+        "SELECT A.temp FROM s A, s B WHERE NOT (A.temp < B.temp) ONCE",
+        "SELECT A.temp FROM s A, s B WHERE A.temp < 1 OR B.temp > 2 AND A.x = B.x ONCE",
+        "SELECT A.temp FROM s A, s B WHERE ABS(A.temp - B.temp) < 1 SAMPLE PERIOD 2.5",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_parse_render_parse_fixed_point(self, sql):
+        once = parse_query(sql)
+        twice = parse_query(once.sql())
+        assert once.sql() == twice.sql()
+
+
+class TestSelectList:
+    def test_star_requires_catalog(self):
+        with pytest.raises(ParseError, match="catalogue"):
+            parse_query("SELECT * FROM sensors ONCE")
+
+    def test_star_expands_against_catalog(self):
+        catalog = standard_catalog()
+        query = parse_query("SELECT * FROM sensors ONCE", catalog=catalog)
+        assert len(query.select) == len(catalog)
+
+    def test_alias_labels(self):
+        query = parse_query("SELECT A.temp AS t FROM s A, s B WHERE A.temp > B.temp ONCE")
+        assert query.select[0].name == "t"
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM s A, s B WHERE A.x = B.x ONCE")
+        assert query.is_aggregate
+
+
+class TestBareColumns:
+    def test_bare_column_single_relation(self):
+        query = parse_query("SELECT temp FROM sensors WHERE temp > 20 ONCE")
+        assert query.select[0].payload.columns() == {("sensors", "temp")}
+
+    def test_bare_column_two_relations_rejected(self):
+        with pytest.raises(ParseError, match="ambiguous"):
+            parse_query("SELECT temp FROM s A, s B WHERE A.temp > B.temp ONCE")
+
+
+class TestPredicateParsing:
+    def test_operator_precedence_and_over_or(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B "
+            "WHERE A.temp < 1 OR A.temp > 5 AND B.temp < 2 ONCE"
+        )
+        from repro.query.expressions import Or
+
+        assert isinstance(query.where, Or)
+        assert len(query.where.parts) == 2
+
+    def test_grouped_predicate_after_not(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B WHERE NOT (A.temp < B.temp AND A.x > 1) ONCE"
+        )
+        from repro.query.expressions import Not
+
+        assert isinstance(query.where, Not)
+
+    def test_parenthesised_arithmetic_in_comparison(self):
+        # '(' here opens arithmetic, not a predicate group — needs backtracking.
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B WHERE (A.temp - B.temp) * 2 > 1 ONCE"
+        )
+        assert len(query.join_predicates) == 1
+
+    def test_nested_parens_mixed(self):
+        query = parse_query(
+            "SELECT A.temp FROM s A, s B "
+            "WHERE ((A.temp) < (B.temp + 1)) AND (A.x = B.x OR A.y = B.y) ONCE"
+        )
+        assert len(query.conjuncts) == 2
+
+    def test_unary_minus(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE A.temp > -5.5 ONCE")
+        assert query.where.evaluate({("A", "temp"): 0.0})
+
+    def test_abs_bars(self):
+        query = parse_query("SELECT A.temp FROM s A, s B WHERE |A.temp - B.temp| < 1 ONCE")
+        assert isinstance(query.where.left, Abs)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_query("SELECT 1 ONCE")
+
+    def test_missing_mode(self):
+        with pytest.raises(ParseError, match="ONCE or SAMPLE"):
+            parse_query("SELECT A.temp FROM s A")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT A.temp FROM s A ONCE banana")
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError, match="unknown function"):
+            parse_query("SELECT sqrt(A.temp) FROM s A ONCE")
+
+    def test_distance_arity(self):
+        with pytest.raises(ParseError, match="4 arguments"):
+            parse_query("SELECT distance(A.x, A.y) FROM s A ONCE")
+
+    def test_unknown_alias_in_where(self):
+        with pytest.raises(BindingError):
+            parse_query("SELECT A.temp FROM s A, s B WHERE C.temp > 1 ONCE")
+
+    def test_unknown_attribute_with_catalog(self):
+        with pytest.raises(BindingError):
+            parse_query(
+                "SELECT A.wind FROM sensors A, sensors B WHERE A.temp > B.temp ONCE",
+                catalog=standard_catalog(),
+            )
+
+    def test_negative_sample_period(self):
+        with pytest.raises(Exception):
+            parse_query("SELECT A.temp FROM s A SAMPLE PERIOD 0")
+
+    def test_unclosed_abs_bars(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT |A.temp FROM s A ONCE")
+
+
+class TestRandomRoundTrip:
+    """Property: any AST the dialect can express survives render -> parse."""
+
+    import hypothesis.strategies as _st
+    from hypothesis import given as _given, settings as _settings
+
+    @staticmethod
+    def _exprs(depth=0):
+        import hypothesis.strategies as st
+
+        from repro.query.expressions import (
+            Abs, Add, Column, Distance, Literal, Mul, Neg, Sub,
+        )
+
+        leaf = st.one_of(
+            st.sampled_from(["temp", "hum", "x", "y"]).flatmap(
+                lambda attr: st.sampled_from(["A", "B"]).map(
+                    lambda alias: Column(alias, attr)
+                )
+            ),
+            st.floats(min_value=-99, max_value=99, allow_nan=False).map(
+                lambda v: Literal(round(v, 3))
+            ),
+        )
+        if depth >= 2:
+            return leaf
+        sub = TestRandomRoundTrip._exprs(depth + 1)
+        return st.one_of(
+            leaf,
+            st.tuples(sub, sub).map(lambda ab: Add(*ab)),
+            st.tuples(sub, sub).map(lambda ab: Sub(*ab)),
+            st.tuples(sub, sub).map(lambda ab: Mul(*ab)),
+            sub.map(Neg),
+            sub.map(Abs),
+            st.tuples(sub, sub, sub, sub).map(lambda parts: Distance(*parts)),
+        )
+
+    @staticmethod
+    def _predicates():
+        import hypothesis.strategies as st
+
+        from repro.query.expressions import And, Compare, Not, Or
+
+        comparison = st.tuples(
+            st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+            TestRandomRoundTrip._exprs(),
+            TestRandomRoundTrip._exprs(),
+        ).map(lambda parts: Compare(*parts))
+        return st.one_of(
+            comparison,
+            st.tuples(comparison, comparison).map(lambda ab: And(*ab)),
+            st.tuples(comparison, comparison).map(lambda ab: Or(*ab)),
+            comparison.map(Not),
+        )
+
+    @_given(_st.data())
+    @_settings(max_examples=120, deadline=None)
+    def test_predicate_round_trip(self, data):
+        from repro.query.expressions import Column
+        from repro.query.query import JoinQuery, SelectItem
+
+        predicate = data.draw(self._predicates())
+        query = JoinQuery(
+            [SelectItem(Column("A", "temp"))],
+            [("s", "A"), ("s", "B")],
+            predicate,
+        )
+        reparsed = parse_query(query.sql())
+        # Negative literals re-render as unary minus, so the fixed point is
+        # reached after one render->parse iteration, not necessarily zero.
+        assert parse_query(reparsed.sql()).sql() == reparsed.sql()
+        # The reparsed predicate must agree pointwise, not only textually.
+        env = {
+            ("A", name): 1.5 for name in ("temp", "hum", "x", "y")
+        }
+        env.update({("B", name): -2.25 for name in ("temp", "hum", "x", "y")})
+        assert reparsed.where.evaluate(env) == predicate.evaluate(env)

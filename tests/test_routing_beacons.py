@@ -1,0 +1,83 @@
+"""Distributed beaconing (DES-driven CTP) tests."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.beacons import BeaconConfig, BeaconProtocol
+from repro.routing.ctp import build_tree
+from repro.sim.kernel import Environment
+from repro.sim.network import DeploymentConfig, deploy_uniform
+from repro.sim.node import BASE_STATION_ID
+
+
+@pytest.fixture()
+def beacon_network():
+    config = DeploymentConfig(node_count=80, area_side_m=242.0, seed=4)
+    return deploy_uniform(config)
+
+
+def converge(network, seconds=40.0):
+    env = Environment()
+    protocol = BeaconProtocol(env, network, BeaconConfig(interval_s=1.0))
+    protocol.start()
+    env.run(until=seconds)
+    return protocol
+
+
+def test_beaconing_converges_to_min_hop(beacon_network):
+    protocol = converge(beacon_network)
+    assert protocol.converged()
+    tree = protocol.current_tree()
+    reference = build_tree(beacon_network)
+    for node_id in beacon_network.sensor_node_ids:
+        assert tree.depth(node_id) == reference.depth(node_id)
+
+
+def test_beacons_are_counted(beacon_network):
+    protocol = converge(beacon_network, seconds=5.0)
+    assert protocol.beacons_sent > 0
+
+
+def test_current_tree_before_convergence_raises(beacon_network):
+    env = Environment()
+    protocol = BeaconProtocol(env, beacon_network)
+    protocol.start()
+    # No time has passed: only the base station has a route.
+    with pytest.raises(RoutingError):
+        protocol.current_tree()
+
+
+def test_double_start_rejected(beacon_network):
+    env = Environment()
+    protocol = BeaconProtocol(env, beacon_network)
+    protocol.start()
+    with pytest.raises(RoutingError):
+        protocol.start()
+
+
+def test_invalidate_then_reconverge(beacon_network):
+    protocol = converge(beacon_network)
+    victim = beacon_network.sensor_node_ids[7]
+    protocol.invalidate(victim)
+    assert not protocol.converged()
+    # Keep the same environment running; beacons repair the route.
+    protocol.env.run(until=protocol.env.now + 10.0)
+    assert protocol.converged()
+
+
+def test_invalidate_base_station_is_noop(beacon_network):
+    protocol = converge(beacon_network, seconds=3.0)
+    protocol.invalidate(BASE_STATION_ID)
+    assert protocol.state[BASE_STATION_ID].hops == 0
+
+
+def test_dead_nodes_do_not_beacon():
+    config = DeploymentConfig(node_count=60, area_side_m=210.0, seed=9)
+    network = deploy_uniform(config)
+    victim = network.sensor_node_ids[0]
+    network.fail_node(victim)
+    if not network.is_connected():
+        pytest.skip("failure partitioned the tiny test network")
+    protocol = converge(network)
+    tree = protocol.current_tree()
+    assert victim not in tree

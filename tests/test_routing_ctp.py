@@ -1,0 +1,128 @@
+"""Collection-tree construction and repair tests."""
+
+from collections import deque
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.ctp import build_tree, repair_tree
+from repro.sim.node import BASE_STATION_ID
+
+
+def bfs_hops(network):
+    hops = {BASE_STATION_ID: 0}
+    queue = deque([BASE_STATION_ID])
+    while queue:
+        current = queue.popleft()
+        for neighbour in network.neighbours(current):
+            if neighbour not in hops:
+                hops[neighbour] = hops[current] + 1
+                queue.append(neighbour)
+    return hops
+
+
+def test_tree_is_min_hop(small_network):
+    tree = build_tree(small_network, seed=2)
+    hops = bfs_hops(small_network)
+    for node_id in small_network.sensor_node_ids:
+        assert tree.depth(node_id) == hops[node_id]
+
+
+def test_parent_is_a_neighbour(small_network):
+    tree = build_tree(small_network, seed=2)
+    for node_id in small_network.sensor_node_ids:
+        assert tree.parent(node_id) in small_network.neighbours(node_id)
+
+
+def test_tie_break_lowest_id_deterministic(small_network):
+    a = build_tree(small_network, tie_break="lowest_id")
+    b = build_tree(small_network, tie_break="lowest_id")
+    assert a.as_parent_map() == b.as_parent_map()
+
+
+def test_tie_break_random_is_seeded(small_network):
+    a = build_tree(small_network, seed=5)
+    b = build_tree(small_network, seed=5)
+    c = build_tree(small_network, seed=6)
+    assert a.as_parent_map() == b.as_parent_map()
+    # Different seeds almost surely give at least one different parent.
+    assert a.as_parent_map() != c.as_parent_map()
+
+
+def test_tie_break_nearest_picks_closest(small_network):
+    tree = build_tree(small_network, tie_break="nearest")
+    hops = bfs_hops(small_network)
+    for node_id in small_network.sensor_node_ids:
+        node = small_network.nodes[node_id]
+        parent = tree.parent(node_id)
+        best = min(
+            (
+                node.distance_to(small_network.nodes[c])
+                for c in small_network.neighbours(node_id)
+                if hops[c] == hops[node_id] - 1
+            ),
+        )
+        assert node.distance_to(small_network.nodes[parent]) == pytest.approx(best)
+
+
+def test_partitioned_network_raises(small_network):
+    # Kill every base-station neighbour: nobody can reach the root.
+    for neighbour in list(small_network.neighbours(BASE_STATION_ID)):
+        small_network.fail_node(neighbour)
+    if small_network.is_connected():
+        pytest.skip("deployment too dense to partition this way")
+    with pytest.raises(RoutingError):
+        build_tree(small_network)
+
+
+def test_repair_keeps_unaffected_parents(small_network):
+    tree = build_tree(small_network, seed=2)
+    # Fail one leaf-ish node; parents of unrelated nodes must not change.
+    victim = max(
+        small_network.sensor_node_ids,
+        key=lambda n: tree.depth(n),
+    )
+    small_network.fail_node(victim)
+    report = repair_tree(small_network, tree, seed=2)
+    changed = report.reparented
+    for node_id in small_network.sensor_node_ids:
+        if not small_network.nodes[node_id].alive:
+            continue
+        if node_id not in changed:
+            assert report.tree.parent(node_id) == tree.parent(node_id)
+
+
+def test_repair_after_link_failure_reroutes(small_network):
+    tree = build_tree(small_network, seed=2)
+    # Break one tree edge; the child must find a new parent (or be orphaned).
+    child = max(small_network.sensor_node_ids, key=lambda n: tree.depth(n))
+    parent = tree.parent(child)
+    small_network.fail_link(child, parent)
+    report = repair_tree(small_network, tree, seed=2)
+    if child not in report.orphaned:
+        assert report.tree.parent(child) != parent
+        assert report.tree.parent(child) in small_network.neighbours(child)
+
+
+def test_repair_reports_orphans(small_network):
+    tree = build_tree(small_network, seed=2)
+    # Isolate a node entirely by cutting all its links.
+    victim = small_network.sensor_node_ids[10]
+    for neighbour in list(small_network.neighbours(victim)):
+        small_network.fail_link(victim, neighbour)
+    report = repair_tree(small_network, tree, seed=2)
+    assert victim in report.orphaned
+    assert victim not in report.tree
+
+
+def test_repaired_tree_is_min_hop_over_survivors(small_network):
+    tree = build_tree(small_network, seed=2)
+    victims = small_network.sensor_node_ids[3:6]
+    for victim in victims:
+        small_network.fail_node(victim)
+    report = repair_tree(small_network, tree, seed=2)
+    hops = bfs_hops(small_network)
+    for node_id in report.tree.node_ids:
+        if node_id == BASE_STATION_ID:
+            continue
+        assert report.tree.depth(node_id) == hops[node_id]

@@ -1,0 +1,54 @@
+"""Query-flooding tests."""
+
+import pytest
+
+from repro.routing.dissemination import QUERY_DISSEMINATION_PHASE, flood_query
+from repro.sim.node import BASE_STATION_ID
+
+
+def test_flood_reaches_every_node(small_network):
+    reached = flood_query(small_network, 30)
+    assert reached == set(small_network.node_ids)
+
+
+def test_flood_costs_one_broadcast_per_node(small_network):
+    flood_query(small_network, 30)
+    stats = small_network.stats
+    # 30 bytes fit one packet; every node (incl. the base station)
+    # broadcasts exactly once.
+    assert stats.total_tx_packets([QUERY_DISSEMINATION_PHASE]) == len(
+        small_network.node_ids
+    )
+
+
+def test_flood_fragments_large_queries(small_network):
+    flood_query(small_network, 100)  # 3 packets at 48 bytes
+    assert small_network.stats.total_tx_packets() == 3 * len(small_network.node_ids)
+
+
+def test_flood_does_not_cross_partitions(small_network):
+    # Cut off one node completely.
+    victim = small_network.sensor_node_ids[4]
+    for neighbour in list(small_network.neighbours(victim)):
+        small_network.fail_link(victim, neighbour)
+    reached = flood_query(small_network, 30)
+    assert victim not in reached
+    assert reached == set(small_network.node_ids) - {victim}
+
+
+def test_flood_custom_phase_label(small_network):
+    flood_query(small_network, 10, phase="my-phase")
+    assert small_network.stats.tx_packets_by_phase() == {
+        "my-phase": len(small_network.node_ids)
+    }
+
+
+def test_negative_size_rejected(small_network):
+    with pytest.raises(ValueError):
+        flood_query(small_network, -1)
+
+
+def test_zero_byte_flood_reaches_no_one(small_network):
+    # A zero-byte query transmits nothing, so only the source "hears" it.
+    reached = flood_query(small_network, 0)
+    assert reached == {BASE_STATION_ID}

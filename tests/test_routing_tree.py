@@ -1,0 +1,114 @@
+"""RoutingTree structure and traversal tests."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.tree import RoutingTree
+
+
+@pytest.fixture()
+def simple_tree():
+    #        0
+    #      /   \
+    #     1     2
+    #    / \     \
+    #   3   4     5
+    #  /
+    # 6
+    return RoutingTree({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3})
+
+
+def test_parent_and_children(simple_tree):
+    assert simple_tree.parent(3) == 1
+    assert simple_tree.children(1) == (3, 4)
+    assert simple_tree.children(6) == ()
+    assert simple_tree.is_leaf(6) and not simple_tree.is_leaf(1)
+
+
+def test_root_has_no_parent(simple_tree):
+    with pytest.raises(RoutingError):
+        simple_tree.parent(0)
+
+
+def test_depths_and_height(simple_tree):
+    assert simple_tree.depth(0) == 0
+    assert simple_tree.depth(6) == 3
+    assert simple_tree.height == 3
+
+
+def test_root_with_parent_rejected():
+    with pytest.raises(RoutingError):
+        RoutingTree({0: 1, 1: 2}, root=0)
+
+
+def test_unknown_parent_rejected():
+    with pytest.raises(RoutingError):
+        RoutingTree({1: 0, 2: 99})
+
+
+def test_cycle_detected():
+    with pytest.raises(RoutingError):
+        RoutingTree({1: 2, 2: 1})
+
+
+def test_post_order_children_before_parents(simple_tree):
+    order = list(simple_tree.post_order())
+    position = {node: i for i, node in enumerate(order)}
+    for node in simple_tree.node_ids:
+        if node != simple_tree.root:
+            assert position[node] < position[simple_tree.parent(node)]
+    assert sorted(order) == simple_tree.node_ids
+    assert order[-1] == 0
+
+
+def test_pre_order_parents_before_children(simple_tree):
+    order = list(simple_tree.pre_order())
+    position = {node: i for i, node in enumerate(order)}
+    for node in simple_tree.node_ids:
+        if node != simple_tree.root:
+            assert position[node] > position[simple_tree.parent(node)]
+    assert order[0] == 0
+
+
+def test_levels(simple_tree):
+    assert simple_tree.levels() == [[0], [1, 2], [3, 4, 5], [6]]
+
+
+def test_subtree(simple_tree):
+    assert sorted(simple_tree.subtree(1)) == [1, 3, 4, 6]
+    assert list(simple_tree.subtree(6)) == [6]
+    with pytest.raises(RoutingError):
+        list(simple_tree.subtree(42))
+
+
+def test_descendant_counts(simple_tree):
+    counts = simple_tree.descendant_counts()
+    assert counts == {0: 6, 1: 3, 2: 1, 3: 1, 4: 0, 5: 0, 6: 0}
+
+
+def test_path_to_root(simple_tree):
+    assert simple_tree.path_to_root(6) == [6, 3, 1, 0]
+    assert simple_tree.path_to_root(0) == [0]
+
+
+def test_total_hops(simple_tree):
+    assert simple_tree.total_hops_to_root([6, 5]) == 3 + 2
+
+
+def test_contains_and_len(simple_tree):
+    assert 6 in simple_tree and 42 not in simple_tree
+    assert len(simple_tree) == 7
+
+
+def test_as_parent_map_is_copy(simple_tree):
+    mapping = simple_tree.as_parent_map()
+    mapping[99] = 0
+    assert 99 not in simple_tree
+
+
+def test_descendant_counts_on_real_tree(small_tree):
+    counts = small_tree.descendant_counts()
+    assert counts[small_tree.root] == len(small_tree) - 1
+    # Sum over direct children + children themselves equals the root count.
+    root_children = small_tree.children(small_tree.root)
+    assert sum(counts[c] + 1 for c in root_children) == counts[small_tree.root]

@@ -1,0 +1,93 @@
+"""Energy model tests, including the paper's §IV-B footnote property."""
+
+import pytest
+
+from repro.sim.energy import EnergyLedger, EnergyModel
+
+
+def test_tx_cost_is_affine():
+    model = EnergyModel(tx_per_packet=100.0, tx_per_byte=2.0)
+    assert model.tx_cost(0) == 100.0
+    assert model.tx_cost(10) == 120.0
+
+
+def test_rx_cost_is_affine():
+    model = EnergyModel(rx_per_packet=50.0, rx_per_byte=1.0)
+    assert model.rx_cost(0) == 50.0
+    assert model.rx_cost(48) == 98.0
+
+
+def test_negative_payload_rejected():
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.tx_cost(-1)
+    with pytest.raises(ValueError):
+        model.rx_cost(-1)
+
+
+def test_paper_footnote_small_shrink_small_saving():
+    """§IV-B footnote 1: removing ~10 bytes from a packet saves ~5%.
+
+    This is the quantitative motivation for Treecut: trimming a tuple to its
+    join attributes barely helps while the packet count stays the same.
+    """
+    model = EnergyModel()  # MicaZ-like defaults
+    saving = model.relative_saving_from_shrinking(48, 10)
+    assert 0.02 <= saving <= 0.10
+
+
+def test_shrink_bounds_validated():
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.relative_saving_from_shrinking(20, 30)
+    with pytest.raises(ValueError):
+        model.relative_saving_from_shrinking(20, -1)
+
+
+def test_ledger_accumulates_tx_and_rx():
+    ledger = EnergyLedger()
+    ledger.charge_tx(40, packets=1)
+    ledger.charge_tx(96, packets=2)
+    ledger.charge_rx(40, packets=1)
+    assert ledger.tx_packets == 3
+    assert ledger.tx_bytes == 136
+    assert ledger.rx_packets == 1
+    assert ledger.rx_bytes == 40
+    assert ledger.total_energy == ledger.tx_energy + ledger.rx_energy
+    assert ledger.tx_energy > 0 and ledger.rx_energy > 0
+
+
+def test_ledger_charge_returns_cost():
+    ledger = EnergyLedger()
+    cost = ledger.charge_tx(10, packets=1)
+    assert cost == ledger.tx_energy
+
+
+def test_ledger_zero_packets_charges_bytes_only():
+    ledger = EnergyLedger()
+    ledger.charge_tx(0, packets=0)
+    assert ledger.tx_energy == 0.0
+
+
+def test_ledger_negative_packets_rejected():
+    ledger = EnergyLedger()
+    with pytest.raises(ValueError):
+        ledger.charge_tx(10, packets=-1)
+
+
+def test_ledger_reset():
+    ledger = EnergyLedger()
+    ledger.charge_tx(48, 1)
+    ledger.charge_rx(48, 1)
+    ledger.reset()
+    assert ledger.total_energy == 0.0
+    assert ledger.tx_packets == ledger.rx_packets == 0
+    assert ledger.tx_bytes == ledger.rx_bytes == 0
+
+
+def test_per_packet_overhead_dominates_default_model():
+    """The default parameters must make packet count the primary cost."""
+    model = EnergyModel()
+    one_full = model.tx_cost(48)
+    two_small = 2 * model.tx_cost(24)
+    assert two_small > one_full

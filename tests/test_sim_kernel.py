@@ -1,0 +1,280 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import AllOf, Environment, Event, Interrupt, Process, Timeout
+
+
+def test_timeout_ordering():
+    env = Environment()
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(proc("late", 2.0))
+    env.process(proc("early", 1.0))
+    env.run()
+    assert log == [(1.0, "early"), (2.0, "late")]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    env = Environment()
+    log = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in "abcd":
+        env.process(proc(name))
+    env.run()
+    assert log == list("abcd")
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value + 1
+
+    result = env.run(until=env.process(parent()))
+    assert result == 43
+
+
+def test_event_succeed_payload():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append(value)
+
+    def trigger():
+        yield env.timeout(3.0)
+        gate.succeed("payload")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert seen == ["payload"]
+    assert gate.ok and gate.value == "payload"
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger():
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    gate = env.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_value_before_trigger_is_error():
+    env = Environment()
+    gate = env.event()
+    with pytest.raises(SimulationError):
+        _ = gate.value
+    with pytest.raises(SimulationError):
+        _ = gate.ok
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    processes = [env.process(child(d, v)) for d, v in ((3, "a"), (1, "b"), (2, "c"))]
+    result = env.run(until=env.all_of(processes))
+    assert result == ["a", "b", "c"]
+    assert env.now == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    event = env.all_of([])
+    env.run()
+    assert event.processed and event.value == []
+
+
+def test_all_of_fails_on_child_failure():
+    env = Environment()
+    good = env.timeout(1.0)
+    bad = env.event()
+
+    def trigger():
+        yield env.timeout(0.5)
+        bad.fail(ValueError("child died"))
+
+    env.process(trigger())
+    combined = env.all_of([good, bad])
+    with pytest.raises(ValueError):
+        env.run(until=combined)
+
+
+def test_interrupt_is_catchable():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt("reason")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [("interrupted", 2.0, "reason")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(0.1)
+
+    process = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_run_until_time_advances_clock():
+    env = Environment()
+    env.process(iter_timeouts(env, [1.0, 1.0, 1.0]))
+    env.run(until=1.5)
+    assert env.now == 1.5
+
+
+def iter_timeouts(env, delays):
+    for delay in delays:
+        yield env.timeout(delay)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="must yield Event"):
+        env.run()
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    early = env.timeout(1.0)
+    log = []
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        yield early  # already fired long ago
+        log.append(env.now)
+
+    env.process(late_waiter())
+    env.run()
+    assert log == [5.0]
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(2.5)
+    assert env.peek() == 2.5
+    env.step()
+    assert env.now == 2.5
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_two_processes_communicate_via_events():
+    env = Environment()
+    mailbox = []
+    delivered = env.event()
+
+    def producer():
+        yield env.timeout(1.0)
+        mailbox.append("message")
+        delivered.succeed()
+
+    def consumer():
+        yield delivered
+        mailbox.append("consumed at %g" % env.now)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert mailbox == ["message", "consumed at 1"]
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    process = env.process(proc())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive

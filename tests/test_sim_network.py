@@ -1,0 +1,140 @@
+"""Deployment and connectivity tests."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.network import (
+    DeploymentConfig,
+    Network,
+    deploy_clustered,
+    deploy_grid,
+    deploy_uniform,
+)
+from repro.sim.node import BASE_STATION_ID, SensorNode
+
+
+def test_uniform_deployment_connected(small_network):
+    assert small_network.is_connected()
+    assert len(small_network.sensor_node_ids) == 200
+    assert BASE_STATION_ID in small_network.nodes
+
+
+def test_neighbourhood_is_symmetric(small_network):
+    for node_id in small_network.node_ids:
+        for neighbour in small_network.neighbours(node_id):
+            assert node_id in small_network.neighbours(neighbour)
+
+
+def test_neighbours_within_radio_range(small_network):
+    for node_id in small_network.node_ids:
+        node = small_network.nodes[node_id]
+        for neighbour in small_network.neighbours(node_id):
+            assert node.distance_to(small_network.nodes[neighbour]) <= 50.0 + 1e-9
+
+
+def test_average_degree_near_paper_typical(small_network):
+    # §IV-B: typical neighbourhood sizes are "around 6 to 15".
+    assert 5.0 <= small_network.average_degree() <= 16.0
+
+
+def test_duplicate_ids_rejected():
+    nodes = [SensorNode(0, 0, 0), SensorNode(1, 1, 1), SensorNode(1, 2, 2)]
+    with pytest.raises(NetworkError):
+        Network(nodes, radio_range_m=50.0)
+
+
+def test_missing_base_station_rejected():
+    nodes = [SensorNode(1, 1, 1), SensorNode(2, 2, 2)]
+    with pytest.raises(NetworkError):
+        Network(nodes, radio_range_m=50.0)
+
+
+def test_grid_deployment_deterministic():
+    config = DeploymentConfig(node_count=25, area_side_m=200.0, seed=3)
+    a = deploy_grid(config)
+    b = deploy_grid(config)
+    assert [a.nodes[i].position for i in a.node_ids] == [
+        b.nodes[i].position for i in b.node_ids
+    ]
+
+
+def test_grid_pitch_exceeding_range_rejected():
+    config = DeploymentConfig(node_count=9, area_side_m=1000.0, radio_range_m=50.0)
+    with pytest.raises(NetworkError, match="pitch"):
+        deploy_grid(config)
+
+
+def test_clustered_deployment_connects_with_overlapping_clusters():
+    config = DeploymentConfig(node_count=120, area_side_m=300.0, seed=5)
+    network = deploy_clustered(config, cluster_count=3, cluster_std_m=80.0)
+    assert network.is_connected()
+
+
+def test_fail_node_removes_from_graph(small_network):
+    victim = small_network.sensor_node_ids[5]
+    neighbours = set(small_network.neighbours(victim))
+    small_network.fail_node(victim)
+    assert not small_network.nodes[victim].alive
+    for neighbour in neighbours:
+        assert victim not in small_network.neighbours(neighbour)
+    with pytest.raises(NetworkError):
+        small_network.neighbours(victim)
+
+
+def test_base_station_cannot_fail(small_network):
+    with pytest.raises(NetworkError):
+        small_network.fail_node(BASE_STATION_ID)
+
+
+def test_fail_and_restore_link(small_network):
+    node = small_network.sensor_node_ids[0]
+    neighbour = next(iter(small_network.neighbours(node)))
+    small_network.fail_link(node, neighbour)
+    assert neighbour not in small_network.neighbours(node)
+    assert node not in small_network.neighbours(neighbour)
+    small_network.restore_link(node, neighbour)
+    assert neighbour in small_network.neighbours(node)
+
+
+def test_scaled_config_keeps_density():
+    base = DeploymentConfig()
+    scaled = base.scaled(600)
+    base_density = base.node_count / base.area_side_m**2
+    scaled_density = scaled.node_count / scaled.area_side_m**2
+    assert scaled_density == pytest.approx(base_density, rel=1e-6)
+
+
+def test_impossible_density_raises():
+    config = DeploymentConfig(node_count=10, area_side_m=5000.0, radio_range_m=50.0)
+    with pytest.raises(NetworkError):
+        deploy_uniform(config, max_attempts=2)
+
+
+def test_reset_accounting_clears_ledgers_and_stats(small_network):
+    channel = small_network.channel
+    a, b = small_network.sensor_node_ids[:2]
+    channel.unicast(a, BASE_STATION_ID, 10, "x") if BASE_STATION_ID in small_network.neighbours(a) else None
+    channel.unicast(a, b, 10, "x")
+    assert small_network.stats.total_tx_packets() >= 1
+    small_network.reset_accounting()
+    assert small_network.stats.total_tx_packets() == 0
+    assert small_network.nodes[a].ledger.total_energy == 0.0
+    # The channel must write into the fresh collector.
+    channel.unicast(a, b, 10, "y")
+    assert small_network.stats.total_tx_packets() == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DeploymentConfig(node_count=1)
+    with pytest.raises(ValueError):
+        DeploymentConfig(area_side_m=-1.0)
+
+
+def test_node_helpers():
+    node = SensorNode(3, 3.0, 4.0, relations=frozenset({"sensors"}))
+    assert node.position == (3.0, 4.0)
+    assert node.distance_to(SensorNode(4, 0.0, 0.0)) == pytest.approx(5.0)
+    assert node.belongs_to("sensors") and not node.belongs_to("other")
+    assert not node.is_base_station
+    assert SensorNode(BASE_STATION_ID, 0, 0).is_base_station

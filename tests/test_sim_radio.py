@@ -1,0 +1,101 @@
+"""Packetization and channel accounting tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.energy import EnergyLedger
+from repro.sim.radio import Channel, PacketFormat
+from repro.sim.stats import TransmissionStats
+
+
+def make_channel(max_packet=48, nodes=(1, 2, 3)):
+    stats = TransmissionStats()
+    ledgers = {node: EnergyLedger() for node in nodes}
+    return Channel(PacketFormat(max_packet), stats, ledgers), stats, ledgers
+
+
+class TestPacketFormat:
+    def test_zero_bytes_zero_packets(self):
+        assert PacketFormat(48).packets_for(0) == 0
+
+    def test_exact_fit(self):
+        assert PacketFormat(48).packets_for(48) == 1
+
+    def test_one_byte_over(self):
+        assert PacketFormat(48).packets_for(49) == 2
+
+    def test_paper_sizes(self):
+        fmt = PacketFormat(48)
+        assert fmt.packets_for(30) == 1  # a D_max payload fits one packet
+        assert PacketFormat(124).packets_for(124) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            PacketFormat(0)
+        with pytest.raises(ValueError):
+            PacketFormat(48).packets_for(-1)
+
+    def test_bytes_for_packets(self):
+        assert PacketFormat(48).bytes_for_packets(3) == 144
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=200))
+    def test_packets_cover_payload(self, payload, max_packet):
+        fmt = PacketFormat(max_packet)
+        packets = fmt.packets_for(payload)
+        assert packets * max_packet >= payload
+        if packets:
+            assert (packets - 1) * max_packet < payload
+
+    @given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=0, max_value=5_000))
+    def test_packets_monotone_and_subadditive(self, a, b):
+        fmt = PacketFormat(48)
+        assert fmt.packets_for(a + b) >= fmt.packets_for(max(a, b))
+        # Merging payloads never costs more packets than sending separately:
+        assert fmt.packets_for(a + b) <= fmt.packets_for(a) + fmt.packets_for(b) or (
+            a == 0 or b == 0
+        )
+
+
+class TestChannel:
+    def test_unicast_charges_both_ends(self):
+        channel, stats, ledgers = make_channel()
+        packets = channel.unicast(1, 2, 100, "phase-x")
+        assert packets == 3
+        assert ledgers[1].tx_packets == 3 and ledgers[1].tx_bytes == 100
+        assert ledgers[2].rx_packets == 3 and ledgers[2].rx_bytes == 100
+        assert ledgers[3].tx_packets == ledgers[3].rx_packets == 0
+        assert stats.total_tx_packets() == 3
+        assert stats.node_tx_packets(1, ["phase-x"]) == 3
+
+    def test_unicast_empty_payload_free(self):
+        channel, stats, _ = make_channel()
+        assert channel.unicast(1, 2, 0, "phase") == 0
+        assert stats.total_tx_packets() == 0
+        assert channel.log == []
+
+    def test_broadcast_single_tx_many_rx(self):
+        channel, stats, ledgers = make_channel()
+        packets = channel.broadcast(1, [2, 3], 50, "flood")
+        assert packets == 2
+        assert ledgers[1].tx_packets == 2
+        assert ledgers[2].rx_packets == 2 and ledgers[3].rx_packets == 2
+        assert stats.total_tx_packets() == 2  # broadcast counted once
+
+    def test_unknown_node_rejected(self):
+        channel, _, _ = make_channel()
+        with pytest.raises(SimulationError):
+            channel.unicast(1, 99, 10, "phase")
+
+    def test_latency_proportional_to_packets(self):
+        channel, _, _ = make_channel()
+        assert channel.latency_for(0) == 0.0
+        assert channel.latency_for(49) == pytest.approx(2 * channel.hop_latency_s)
+
+    def test_transmission_log_records_everything(self):
+        channel, _, _ = make_channel()
+        channel.unicast(1, 2, 10, "a")
+        channel.broadcast(2, [1, 3], 20, "b")
+        assert [t.phase for t in channel.log] == ["a", "b"]
+        assert channel.log[1].receivers == (1, 3)

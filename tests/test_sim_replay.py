@@ -1,0 +1,70 @@
+"""DES replay cross-validation of the analytic timing model."""
+
+import pytest
+
+from repro import constants
+from repro.joins.external import EXTERNAL_PHASE, ExternalJoin
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import PHASE_COLLECTION, PHASE_FILTER, SensJoin
+from repro.sim.replay import replay_collection_phase, replay_dissemination_phase
+
+
+def test_external_join_critical_path_matches_des(
+    small_network, small_world, small_tree, tail_query
+):
+    """The external join's analytic serialisation time must equal an
+    independent DES replay of its recorded transmissions."""
+    outcome = run_snapshot(
+        small_network, small_world, tail_query(1.5), ExternalJoin(), tree=small_tree,
+        tree_seed=11,
+    )
+    latency_for = small_network.channel.latency_for
+    replayed = replay_collection_phase(
+        small_tree, small_network.channel.log, EXTERNAL_PHASE, latency_for
+    )
+    analytic = outcome.response_time_s - small_tree.height * constants.DEFAULT_LEVEL_SLOT_S
+    assert replayed == pytest.approx(analytic, abs=1e-9)
+
+
+def test_sens_collection_phase_matches_des(
+    small_network, small_world, small_tree, tail_query
+):
+    outcome = run_snapshot(
+        small_network, small_world, tail_query(1.5), SensJoin(), tree=small_tree,
+        tree_seed=11,
+    )
+    latency_for = small_network.channel.latency_for
+    replayed = replay_collection_phase(
+        small_tree, small_network.channel.log, PHASE_COLLECTION, latency_for
+    )
+    assert replayed == pytest.approx(outcome.details["collection_finish_s"], abs=1e-9)
+
+
+def test_filter_dissemination_arrivals_monotone_in_depth(
+    small_network, small_world, small_tree, tail_query
+):
+    run_snapshot(
+        small_network, small_world, tail_query(1.0), SensJoin(), tree=small_tree,
+        tree_seed=11,
+    )
+    latency_for = small_network.channel.latency_for
+    arrivals = replay_dissemination_phase(
+        small_tree, small_network.channel.log, PHASE_FILTER, latency_for
+    )
+    assert arrivals[small_tree.root] == 0.0
+    for node_id, when in arrivals.items():
+        if node_id == small_tree.root:
+            continue
+        parent = small_tree.parent(node_id)
+        if parent in arrivals:
+            assert when >= arrivals[parent]
+
+
+def test_replay_requires_root_participation(small_tree):
+    with pytest.raises(Exception):
+        replay_collection_phase(small_tree, [], "phase", lambda b: 0.0, participants=[1])
+
+
+def test_replay_empty_phase_finishes_immediately(small_tree):
+    time = replay_collection_phase(small_tree, [], "nothing", lambda b: 1.0)
+    assert time == 0.0

@@ -1,0 +1,85 @@
+"""Transmission statistics collector tests."""
+
+import pytest
+
+from repro.sim.stats import NodeLoad, TransmissionStats
+
+
+def test_totals_across_phases():
+    stats = TransmissionStats()
+    stats.record_tx(1, "collect", 3, 100)
+    stats.record_tx(2, "collect", 2, 60)
+    stats.record_tx(1, "filter", 1, 20)
+    assert stats.total_tx_packets() == 6
+    assert stats.total_tx_packets(["collect"]) == 5
+    assert stats.total_tx_bytes(["filter"]) == 20
+    assert stats.total_tx_bytes() == 180
+
+
+def test_per_phase_breakdown():
+    stats = TransmissionStats()
+    stats.record_tx(1, "a", 1, 10)
+    stats.record_tx(2, "a", 2, 20)
+    stats.record_tx(2, "b", 4, 40)
+    assert stats.tx_packets_by_phase() == {"a": 3, "b": 4}
+
+
+def test_node_level_queries():
+    stats = TransmissionStats()
+    stats.record_tx(7, "a", 2, 10)
+    stats.record_tx(7, "b", 3, 10)
+    stats.record_rx(7, "a", 1, 5)
+    assert stats.node_tx_packets(7) == 5
+    assert stats.node_tx_packets(7, ["a"]) == 2
+    assert stats.node_rx_packets(7) == 1
+    assert stats.node_tx_packets(99) == 0
+
+
+def test_max_node_tx():
+    stats = TransmissionStats()
+    stats.record_tx(1, "a", 2, 10)
+    stats.record_tx(2, "a", 9, 10)
+    assert stats.max_node_tx_packets() == 9
+    assert stats.max_node_tx_packets(["missing-phase"]) == 0
+
+
+def test_per_node_loads_join_with_descendants():
+    stats = TransmissionStats()
+    stats.record_tx(1, "a", 2, 12)
+    stats.record_rx(2, "a", 1, 6)
+    loads = stats.per_node_loads({1: 10, 2: 0, 3: 5})
+    by_id = {load.node_id: load for load in loads}
+    assert by_id[1].descendants == 10 and by_id[1].tx_packets == 2
+    assert by_id[2].rx_packets == 1
+    assert by_id[3].tx_packets == 0  # present via descendants only
+    assert by_id[1].total_packets == 2
+
+
+def test_negative_counts_rejected():
+    stats = TransmissionStats()
+    with pytest.raises(ValueError):
+        stats.record_tx(1, "a", -1, 0)
+    with pytest.raises(ValueError):
+        stats.record_rx(1, "a", 0, -1)
+
+
+def test_merge_adds_counters():
+    a = TransmissionStats()
+    b = TransmissionStats()
+    a.record_tx(1, "x", 1, 10)
+    b.record_tx(1, "x", 2, 20)
+    b.record_tx(2, "y", 3, 30)
+    b.record_rx(2, "y", 1, 5)
+    a.merge(b)
+    assert a.node_tx_packets(1) == 3
+    assert a.node_tx_packets(2) == 3
+    assert a.node_rx_packets(2) == 1
+    assert a.total_tx_bytes() == 60
+
+
+def test_per_node_loads_sum_matches_totals():
+    stats = TransmissionStats()
+    for node, packets in ((1, 4), (2, 5), (3, 6)):
+        stats.record_tx(node, "p", packets, packets * 10)
+    loads = stats.per_node_loads({})
+    assert sum(load.tx_packets for load in loads) == stats.total_tx_packets()

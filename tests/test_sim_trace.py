@@ -1,0 +1,81 @@
+"""Tracer tests, including the SENS-Join protocol trace."""
+
+import pytest
+
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import SensJoin
+from repro.sim.trace import ListTracer, NullTracer, TraceEvent
+
+
+class TestTracerBasics:
+    def test_null_tracer_swallows(self):
+        tracer = NullTracer()
+        tracer.emit(0.0, 1, "anything", foo=1)  # must not raise
+
+    def test_list_tracer_records(self):
+        tracer = ListTracer()
+        tracer.emit(1.5, 7, "kind-a", detail=3)
+        tracer.emit(2.0, 8, "kind-b")
+        assert len(tracer) == 2
+        assert tracer.events[0].time == 1.5
+        assert tracer.events[0].detail == {"detail": 3}
+        assert tracer.kinds() == {"kind-a", "kind-b"}
+
+    def test_filtering(self):
+        tracer = ListTracer()
+        for i in range(5):
+            tracer.emit(float(i), i % 2, "tick", index=i)
+        assert len(tracer.filter(node_id=0)) == 3
+        assert len(tracer.filter(kind="tick")) == 5
+        assert len(tracer.filter(kind="tock")) == 0
+        assert len(tracer.filter(predicate=lambda e: e.detail["index"] > 2)) == 2
+
+    def test_event_str(self):
+        event = TraceEvent(1.25, 3, "treecut-exit", {"tuples": 2})
+        text = str(event)
+        assert "treecut-exit" in text and "tuples=2" in text and "node " in text
+
+    def test_iteration(self):
+        tracer = ListTracer()
+        tracer.emit(0.0, 1, "x")
+        assert [e.kind for e in tracer] == ["x"]
+
+
+class TestProtocolTrace:
+    def test_sensjoin_emits_protocol_events(self, small_network, small_world, tail_query):
+        tracer = ListTracer()
+        run_snapshot(
+            small_network, small_world, tail_query(1.5),
+            SensJoin(tracer=tracer), tree_seed=11,
+        )
+        kinds = tracer.kinds()
+        assert "treecut-exit" in kinds
+        assert "proxy-store" in kinds
+        assert "send-join-atts" in kinds
+        assert "filter-broadcast" in kinds
+        assert "final-send" in kinds
+
+    def test_trace_counts_match_details(self, small_network, small_world, tail_query):
+        tracer = ListTracer()
+        outcome = run_snapshot(
+            small_network, small_world, tail_query(1.5),
+            SensJoin(tracer=tracer), tree_seed=11,
+        )
+        assert len(tracer.filter(kind="treecut-exit")) == outcome.details["treecut_exited"]
+        assert len(tracer.filter(kind="proxy-store")) == outcome.details["treecut_proxies"]
+        assert (
+            len(tracer.filter(kind="filter-broadcast"))
+            == outcome.details["filter_broadcasts"]
+        )
+        assert len(tracer.filter(kind="final-send")) == outcome.details["final_senders"]
+
+    def test_pruned_subtrees_traced(self, small_network, small_world, tail_query):
+        tracer = ListTracer()
+        outcome = run_snapshot(
+            small_network, small_world, tail_query(2.5),
+            SensJoin(tracer=tracer), tree_seed=11,
+        )
+        assert (
+            len(tracer.filter(kind="filter-pruned"))
+            == outcome.details["filter_pruned_subtrees"]
+        )

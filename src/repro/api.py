@@ -58,6 +58,11 @@ class QueryReport:
         return self.outcome.total_transmissions
 
     @property
+    def retransmissions(self) -> int:
+        """Link-layer ARQ retransmissions (zero on a lossless network)."""
+        return self.outcome.total_retransmissions
+
+    @property
     def algorithm(self) -> str:
         """Which join method produced the result."""
         return self.outcome.algorithm
@@ -66,9 +71,11 @@ class QueryReport:
         """One-paragraph human-readable execution report."""
         phases = self.outcome.per_phase_transmissions()
         phase_text = ", ".join(f"{name}: {count}" for name, count in sorted(phases.items()))
+        retx = self.retransmissions
+        retx_text = f", {retx} retransmissions" if retx else ""
         return (
             f"{self.algorithm}: {self.outcome.result.row_count} row(s), "
-            f"{self.transmissions} transmissions ({phase_text}), "
+            f"{self.transmissions} transmissions ({phase_text}){retx_text}, "
             f"max node load {self.outcome.max_node_transmissions()} packets, "
             f"response time {self.outcome.response_time_s:.2f}s"
         )
@@ -85,6 +92,7 @@ class SensorNetworkDB:
         max_packet_bytes: int = constants.DEFAULT_MAX_PACKET_BYTES,
         length_scale: float = 150.0,
         drift_rate: float = 0.0,
+        loss_rate: float = 0.0,
         network: Optional[Network] = None,
         world: Optional[SensorWorld] = None,
     ):
@@ -92,6 +100,8 @@ class SensorNetworkDB:
 
         ``area_side_m`` defaults to the paper's node density.  ``drift_rate``
         makes the fields evolve over time (for ``SAMPLE PERIOD`` queries).
+        ``loss_rate`` turns on the lossy link layer with ARQ (worst-link
+        packet-loss probability; zero keeps the classic lossless channel).
         """
         if (network is None) != (world is None):
             raise ValueError("pass both network and world, or neither")
@@ -103,6 +113,7 @@ class SensorNetworkDB:
                 node_count=node_count,
                 area_side_m=area_side_m,
                 seed=seed,
+                loss_rate=loss_rate,
             )
             network = deploy_uniform(config, packet_format=PacketFormat(max_packet_bytes))
             world = SensorWorld.homogeneous(

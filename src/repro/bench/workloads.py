@@ -94,7 +94,8 @@ class Scenario:
 
 @lru_cache(maxsize=16)
 def _cached_scenario(
-    node_count: int, seed: int, packet_bytes: int, length_scale: float
+    node_count: int, seed: int, packet_bytes: int, length_scale: float,
+    loss_rate: float,
 ) -> Scenario:
     base = DeploymentConfig()  # paper density
     config = base.scaled(node_count)
@@ -103,6 +104,7 @@ def _cached_scenario(
         area_side_m=config.area_side_m,
         radio_range_m=config.radio_range_m,
         seed=seed,
+        loss_rate=loss_rate,
     )
     network = deploy_uniform(config, packet_format=PacketFormat(packet_bytes))
     world = SensorWorld.homogeneous(
@@ -117,11 +119,12 @@ def build_scenario(
     seed: int = 0,
     packet_bytes: int = constants.DEFAULT_MAX_PACKET_BYTES,
     length_scale: float = 150.0,
+    loss_rate: float = 0.0,
 ) -> Scenario:
     """A deployment at the paper's density (cached per parameter set)."""
     if node_count is None:
         node_count = default_node_count()
-    return _cached_scenario(node_count, seed, packet_bytes, length_scale)
+    return _cached_scenario(node_count, seed, packet_bytes, length_scale, loss_rate)
 
 
 def ratio_query_builder(

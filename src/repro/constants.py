@@ -72,6 +72,25 @@ DEFAULT_RX_COST_PER_BYTE = 2.5
 #: response-time study (§VII), never by the transmission-count metric.
 DEFAULT_HOP_LATENCY_S = 0.01
 
+#: Link-layer ARQ bound: maximum retransmissions per packet before the link
+#: layer stops charging further attempts (§IV-F error tolerance; TinyOS-style
+#: bounded retransmit).  Seven retries push the residual loss of a 30 %-lossy
+#: link below 1e-4.
+DEFAULT_ARQ_MAX_RETRIES = 7
+
+#: ACK-timeout before the first retransmission, in seconds.  Subsequent
+#: retries back off exponentially (``DEFAULT_ARQ_BACKOFF_FACTOR``).
+DEFAULT_ARQ_ACK_TIMEOUT_S = 0.005
+
+#: Multiplicative backoff between consecutive retransmissions of one packet.
+DEFAULT_ARQ_BACKOFF_FACTOR = 2.0
+
+#: Exponent of the distance-based packet-loss model: the per-packet loss
+#: probability of a link at distance d is ``loss_rate * (d / range) ** k``.
+#: Quadratic falloff reproduces the empirical "grey zone" shape — links near
+#: the unit-disk boundary are much lossier than short links.
+DEFAULT_LOSS_DISTANCE_EXPONENT = 2.0
+
 #: Per-tree-level scheduling slot in seconds.  Collection and dissemination
 #: are epoch-scheduled TAG-style (a node "knows when its children will send
 #: their data ... it sets the wakeup-time accordingly", §IV-A/[18]); each

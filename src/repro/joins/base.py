@@ -185,9 +185,25 @@ class JoinOutcome:
         phases = [p for p in self.stats.tx_packets_by_phase() if p != "query-dissemination"]
         return self.stats.total_tx_bytes(phases)
 
+    @property
+    def total_retransmissions(self) -> int:
+        """Network-wide ARQ retransmissions, excluding query dissemination.
+
+        Zero on a lossless channel; under loss this is the extra radio load
+        the paper's transmission metric does not see.
+        """
+        phases = [
+            p for p in self.stats.retx_packets_by_phase() if p != "query-dissemination"
+        ]
+        return self.stats.total_retx_packets(phases)
+
     def per_phase_transmissions(self) -> Dict[str, int]:
         """Breakdown by protocol phase (Fig. 15)."""
         return self.stats.tx_packets_by_phase()
+
+    def per_phase_retransmissions(self) -> Dict[str, int]:
+        """ARQ retransmission breakdown by protocol phase."""
+        return self.stats.retx_packets_by_phase()
 
     def max_node_transmissions(self) -> int:
         """Load of the most loaded node (Fig. 11 headline number)."""

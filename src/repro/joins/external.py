@@ -69,7 +69,7 @@ class ExternalJoin(JoinAlgorithm):
             channel.unicast(node_id, tree.parent(node_id), payload, EXTERNAL_PHASE)
             carried_bytes[node_id] = payload
             carried_records[node_id] = records
-            finish_time[node_id] = children_finish + channel.latency_for(payload)
+            finish_time[node_id] = children_finish + channel.last_send_latency_s
 
         arrived = carried_records[BASE_STATION_ID]
         tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}

@@ -87,7 +87,10 @@ def run_snapshot(
         flood_query(network, len(query.sql().encode()))
     world.take_snapshot(snapshot_time)
     context = ExecutionContext(network=network, tree=tree, world=world, query=query)
-    return algo.execute(context)
+    outcome = algo.execute(context)
+    if network.link_quality is not None:
+        outcome.details["retransmissions"] = float(outcome.total_retransmissions)
+    return outcome
 
 
 def run_continuous(

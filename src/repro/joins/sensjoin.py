@@ -260,7 +260,7 @@ class SensJoin(JoinAlgorithm):
                 bytes_up[node_id] = payload_bytes
                 state.exited = True
                 exited += 1
-                state.finish_1a = children_finish + channel.latency_for(payload_bytes)
+                state.finish_1a = children_finish + channel.last_send_latency_s
                 self.tracer.emit(
                     state.finish_1a, node_id, "treecut-exit",
                     tuples=len(records), bytes=payload_bytes,
@@ -318,7 +318,7 @@ class SensJoin(JoinAlgorithm):
             channel.unicast(node_id, tree.parent(node_id), payload_bytes, PHASE_COLLECTION)
             atts_up[node_id] = payload
             bytes_up[node_id] = payload_bytes
-            state.finish_1a = children_finish + channel.latency_for(payload_bytes)
+            state.finish_1a = children_finish + channel.last_send_latency_s
             self.tracer.emit(
                 state.finish_1a, node_id, "send-join-atts",
                 points=len(points), bytes=payload_bytes,
@@ -387,7 +387,7 @@ class SensJoin(JoinAlgorithm):
                 points=len(subtree_filter), bytes=payload_bytes,
                 children=len(awake_children),
             )
-            arrival = state.filter_arrival + channel.latency_for(payload_bytes)
+            arrival = state.filter_arrival + channel.last_send_latency_s
             for child in awake_children:
                 states[child].filter_received = subtree_filter
                 states[child].filter_arrival = arrival
@@ -445,7 +445,7 @@ class SensJoin(JoinAlgorithm):
             channel.unicast(node_id, tree.parent(node_id), payload, PHASE_FINAL)
             carried[node_id] = records
             carried_bytes[node_id] = payload
-            finish[node_id] = children_finish + channel.latency_for(payload)
+            finish[node_id] = children_finish + channel.last_send_latency_s
 
         arrived = carried[BASE_STATION_ID]
         tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}

@@ -10,13 +10,18 @@ rooted at the base station.  :func:`build_tree` computes it directly with a
 BFS; :class:`BeaconProtocol <repro.routing.beacons.BeaconProtocol>` produces
 the same structure through actual message exchange.
 
-Among equally good parents (same hop count) CTP picks by link quality; our
-unit-disk links are all perfect, so a tie-breaking policy stands in:
+Among equally good parents (same hop count) CTP picks by link quality.  On a
+lossless network every link is perfect, so a tie-breaking policy stands in:
 
-``"random"``    — seeded random choice (default; gives realistic, varied
-                  child distributions across seeds),
+``"random"``    — seeded random choice (lossless default; gives realistic,
+                  varied child distributions across seeds),
 ``"lowest_id"`` — deterministic canonical tree (tests),
-``"nearest"``   — the geometrically closest candidate (strongest-link proxy).
+``"nearest"``   — the geometrically closest candidate (strongest-link proxy),
+``"etx"``       — lowest expected transmission count (default whenever the
+                  network carries a :class:`~repro.sim.network.LinkQuality`
+                  model; this is CTP's actual metric restricted to the
+                  min-hop parent set, steering the tree away from lossy
+                  boundary-length links).
 
 Repair (§IV-F) is re-convergence: after a node or link failure,
 :func:`repair_tree` recomputes parents over the surviving graph.  Nodes cut
@@ -38,7 +43,12 @@ from .tree import RoutingTree
 
 __all__ = ["build_tree", "repair_tree", "RepairReport", "TieBreak"]
 
-TieBreak = Literal["random", "lowest_id", "nearest"]
+TieBreak = Literal["random", "lowest_id", "nearest", "etx"]
+
+
+def _default_tie_break(network: Network) -> TieBreak:
+    """ETX when link quality is modelled, the classic random pick otherwise."""
+    return "etx" if network.link_quality is not None else "random"
 
 
 def _hop_counts(network: Network) -> Dict[int, int]:
@@ -69,12 +79,24 @@ def _pick_parent(
             candidates,
             key=lambda cand: (node.distance_to(network.nodes[cand]), cand),
         )
+    if tie_break == "etx":
+        # Lowest expected transmission count; distance then id break exact
+        # ETX ties deterministically.
+        node = network.nodes[node_id]
+        return min(
+            candidates,
+            key=lambda cand: (
+                network.link_etx(node_id, cand),
+                node.distance_to(network.nodes[cand]),
+                cand,
+            ),
+        )
     return rng.choice(sorted(candidates))
 
 
 def build_tree(
     network: Network,
-    tie_break: TieBreak = "random",
+    tie_break: Optional[TieBreak] = None,
     seed: int = 0,
     require_full_coverage: bool = True,
 ) -> RoutingTree:
@@ -85,7 +107,9 @@ def build_tree(
     network:
         The deployment; only alive nodes and up links are considered.
     tie_break:
-        How to choose among parents with equal hop count (see module doc).
+        How to choose among parents with equal hop count (see module doc);
+        ``None`` selects ``"etx"`` on a lossy network and ``"random"``
+        otherwise.
     seed:
         Seed for the ``"random"`` tie-break (ignored otherwise).
     require_full_coverage:
@@ -93,6 +117,8 @@ def build_tree(
         if some alive node cannot reach the base station; when False those
         nodes are silently excluded (used during repair).
     """
+    if tie_break is None:
+        tie_break = _default_tie_break(network)
     hops = _hop_counts(network)
     alive_ids = {
         node_id for node_id, node in network.nodes.items() if node.alive
@@ -138,7 +164,7 @@ class RepairReport:
 def repair_tree(
     network: Network,
     old_tree: Optional[RoutingTree] = None,
-    tie_break: TieBreak = "random",
+    tie_break: Optional[TieBreak] = None,
     seed: int = 0,
 ) -> RepairReport:
     """Re-converge the routing tree after node/link failures (§IV-F).
@@ -149,6 +175,8 @@ def repair_tree(
     node's old parent whenever it is still an optimal choice (which is what
     "do not repair what is not broken" converges to).
     """
+    if tie_break is None:
+        tie_break = _default_tie_break(network)
     hops = _hop_counts(network)
     alive_ids = {node_id for node_id, node in network.nodes.items() if node.alive}
     orphaned = frozenset(alive_ids - set(hops) - {BASE_STATION_ID})
@@ -169,7 +197,7 @@ def repair_tree(
         if old_parent is not None and old_parent in candidates:
             parents[node_id] = old_parent
         else:
-            parents[node_id] = _pick_parent(network, node_id, candidates, "random", rng)
+            parents[node_id] = _pick_parent(network, node_id, candidates, tie_break, rng)
             if old_parent is not None:
                 reparented.add(node_id)
     return RepairReport(

@@ -80,6 +80,11 @@ class EnergyLedger:
     rx_packets: int = 0
     tx_bytes: int = 0
     rx_bytes: int = 0
+    #: Link-layer ARQ retransmissions, kept apart from first transmissions so
+    #: the paper's lossless transmission metric is unaffected by loss studies.
+    retx_energy: float = 0.0
+    retx_packets: int = 0
+    retx_bytes: int = 0
     _model: EnergyModel = field(default_factory=EnergyModel)
 
     def charge_tx(self, payload_bytes: int, packets: int = 1) -> float:
@@ -107,13 +112,25 @@ class EnergyLedger:
         self.rx_bytes += payload_bytes
         return cost
 
+    def charge_retx(self, payload_bytes: int, packets: int = 1) -> float:
+        """Charge this node for ARQ retransmissions (priced like transmits)."""
+        if packets < 0:
+            raise ValueError(f"negative packet count: {packets}")
+        cost = packets * self._model.tx_per_packet + payload_bytes * self._model.tx_per_byte
+        self.retx_energy += cost
+        self.retx_packets += packets
+        self.retx_bytes += payload_bytes
+        return cost
+
     @property
     def total_energy(self) -> float:
-        """Total energy spent (transmit + receive)."""
-        return self.tx_energy + self.rx_energy
+        """Total energy spent (transmit + receive + retransmit)."""
+        return self.tx_energy + self.rx_energy + self.retx_energy
 
     def reset(self) -> None:
         """Zero all counters (used between independent query executions)."""
         self.tx_energy = self.rx_energy = 0.0
         self.tx_packets = self.rx_packets = 0
         self.tx_bytes = self.rx_bytes = 0
+        self.retx_energy = 0.0
+        self.retx_packets = self.retx_bytes = 0

@@ -131,18 +131,40 @@ class Event:
         self.env._schedule(self)
         return self
 
+    def _fire(self) -> None:
+        """Hook invoked by the environment at fire time, before callbacks.
+
+        Events triggered via :meth:`succeed`/:meth:`fail` carry their state
+        already; subclasses that self-schedule (:class:`Timeout`) override
+        this to materialise their state only once the delay has elapsed.
+        """
+
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    The event is scheduled immediately but stays *pending* until the delay
+    elapses: ``triggered`` is False and ``value`` unreadable before the fire
+    time, exactly like an externally triggered event.
+    """
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         super().__init__(env)
         self.delay = delay
-        self._ok = True
-        self._value = value
+        self._pending_value = value
         env._schedule(self, delay=delay)
+
+    def _fire(self) -> None:
+        self._ok = True
+        self._value = self._pending_value
+
+    def succeed(self, value: Any = None) -> "Event":
+        raise SimulationError("a Timeout fires by itself; it cannot be succeeded")
+
+    def fail(self, exception: BaseException) -> "Event":
+        raise SimulationError("a Timeout fires by itself; it cannot be failed")
 
 
 class Process(Event):
@@ -214,10 +236,15 @@ class Process(Event):
             )
         if next_event._processed:
             # The event already fired; resume immediately (at current time).
+            # The bridge event becomes the process's target so an interrupt
+            # arriving before it fires can detach it (otherwise the process
+            # would be resumed twice: once by the bridge, once by the
+            # interrupt's wakeup).
             immediate = Event(self.env)
             immediate._ok = next_event._ok
             immediate._value = next_event._value
             immediate.callbacks.append(self._resume)
+            self._target = immediate
             self.env._schedule(immediate)
         else:
             self._target = next_event
@@ -303,6 +330,7 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        event._fire()
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:

@@ -32,10 +32,62 @@ from .. import constants
 from ..errors import NetworkError
 from .energy import EnergyLedger, EnergyModel
 from .node import BASE_STATION_ID, SensorNode
-from .radio import Channel, PacketFormat
+from .radio import ArqConfig, Channel, PacketFormat
 from .stats import TransmissionStats
 
-__all__ = ["Network", "DeploymentConfig", "deploy_uniform", "deploy_grid", "deploy_clustered"]
+__all__ = [
+    "Network",
+    "DeploymentConfig",
+    "LinkQuality",
+    "deploy_uniform",
+    "deploy_grid",
+    "deploy_clustered",
+]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Distance-based per-link packet-loss model.
+
+    Every unit-disk link gets a deterministic packet-reception ratio from
+    its length: a link at distance ``d`` (of range ``r``) loses each packet
+    independently with probability ``loss_rate * (d / r) ** distance_exponent``.
+    Short links are near-perfect; links close to the unit-disk boundary
+    approach the configured ``loss_rate`` — the empirical "grey zone" shape.
+    ``loss_rate`` is thus the worst-link loss probability and the single
+    knob the loss studies sweep.
+
+    ``seed`` seeds the channel's ARQ draws, so a given (deployment, seed)
+    pair sees exactly the same loss realisation on every run.
+    """
+
+    loss_rate: float = 0.0
+    distance_exponent: float = constants.DEFAULT_LOSS_DISTANCE_EXPONENT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.distance_exponent < 0:
+            raise ValueError(
+                f"distance_exponent must be non-negative, got {self.distance_exponent}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the model actually induces loss."""
+        return self.loss_rate > 0.0
+
+    def loss_probability(self, distance_m: float, range_m: float) -> float:
+        """Per-packet loss probability of a link at ``distance_m``."""
+        if range_m <= 0:
+            raise ValueError(f"radio range must be positive, got {range_m}")
+        ratio = min(distance_m, range_m) / range_m
+        return self.loss_rate * ratio**self.distance_exponent
+
+    def prr(self, distance_m: float, range_m: float) -> float:
+        """Packet-reception ratio of a link at ``distance_m``."""
+        return 1.0 - self.loss_probability(distance_m, range_m)
 
 
 @dataclass(frozen=True)
@@ -47,12 +99,17 @@ class DeploymentConfig:
     radio_range_m: float = constants.DEFAULT_RADIO_RANGE_M
     seed: int = 0
     base_station_position: Optional[tuple[float, float]] = None
+    #: Worst-link packet-loss probability (see :class:`LinkQuality`).  Zero
+    #: keeps the whole loss/ARQ layer switched off.
+    loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.node_count < 2:
             raise ValueError("a network needs at least a base station and one node")
         if self.area_side_m <= 0 or self.radio_range_m <= 0:
             raise ValueError("area side and radio range must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
 
     def scaled(self, node_count: int) -> "DeploymentConfig":
         """Same density, different node count (the Fig. 14 sweep).
@@ -68,6 +125,7 @@ class DeploymentConfig:
             radio_range_m=self.radio_range_m,
             seed=self.seed,
             base_station_position=None,
+            loss_rate=self.loss_rate,
         )
 
 
@@ -80,6 +138,8 @@ class Network:
         radio_range_m: float,
         packet_format: Optional[PacketFormat] = None,
         energy_model: Optional[EnergyModel] = None,
+        link_quality: Optional[LinkQuality] = None,
+        arq: Optional[ArqConfig] = None,
     ):
         if not nodes:
             raise NetworkError("empty node list")
@@ -95,10 +155,20 @@ class Network:
         for node in self.nodes.values():
             node.ledger = EnergyLedger(_model=model)
         self.stats = TransmissionStats()
+        # A disabled (loss_rate=0) model is normalised to None so the channel
+        # takes its lossless fast path and stays a strict no-op.
+        self.link_quality = (
+            link_quality if link_quality is not None and link_quality.enabled else None
+        )
         self.channel = Channel(
             self.packet_format,
             self.stats,
             {node_id: node.ledger for node_id, node in self.nodes.items()},
+            loss_probability=(
+                self.link_loss_probability if self.link_quality is not None else None
+            ),
+            arq=arq,
+            arq_seed=self.link_quality.seed if self.link_quality is not None else 0,
         )
         self._adjacency: Dict[int, set[int]] = {}
         self._failed_links: set[frozenset[int]] = set()
@@ -176,6 +246,31 @@ class Network:
             return 0.0
         return sum(len(n) for n in self._adjacency.values()) / len(self._adjacency)
 
+    # -- link quality ---------------------------------------------------------
+
+    def link_loss_probability(self, a: int, b: int) -> float:
+        """Per-packet loss probability of the link ``a``-``b``.
+
+        Zero when no :class:`LinkQuality` model is attached.
+        """
+        if self.link_quality is None:
+            return 0.0
+        node_a = self.nodes.get(a)
+        node_b = self.nodes.get(b)
+        if node_a is None or node_b is None:
+            raise NetworkError(f"unknown node: {a if node_a is None else b}")
+        return self.link_quality.loss_probability(
+            node_a.distance_to(node_b), self.radio_range_m
+        )
+
+    def link_prr(self, a: int, b: int) -> float:
+        """Packet-reception ratio of the link ``a``-``b`` (1.0 when lossless)."""
+        return 1.0 - self.link_loss_probability(a, b)
+
+    def link_etx(self, a: int, b: int) -> float:
+        """Expected transmission count of the link ``a``-``b`` (ETX = 1/PRR)."""
+        return 1.0 / self.link_prr(a, b)
+
     # -- failure injection (§IV-F) -------------------------------------------
 
     def fail_node(self, node_id: int) -> None:
@@ -190,6 +285,11 @@ class Network:
 
     def fail_link(self, a: int, b: int) -> None:
         """Take down the (bidirectional) link between ``a`` and ``b``."""
+        for node_id in (a, b):
+            if node_id not in self.nodes:
+                raise NetworkError(f"unknown node: {node_id}")
+        if a == b:
+            raise NetworkError(f"a node has no link to itself: {a}")
         key = frozenset((a, b))
         self._failed_links.add(key)
         self._adjacency.get(a, set()).discard(b)
@@ -203,12 +303,17 @@ class Network:
     # -- accounting helpers ----------------------------------------------------
 
     def reset_accounting(self) -> None:
-        """Zero all energy ledgers and swap in a fresh statistics collector."""
+        """Zero all energy ledgers and swap in a fresh statistics collector.
+
+        Also re-seeds the channel's ARQ draws so each query execution sees
+        the same deterministic loss realisation.
+        """
         for node in self.nodes.values():
             node.ledger.reset()
         self.stats = TransmissionStats()
         self.channel.stats = self.stats
         self.channel.log = []
+        self.channel.reset_arq()
 
 
 # ---------------------------------------------------------------------------
@@ -234,7 +339,15 @@ def _build(
     nodes = [SensorNode(BASE_STATION_ID, bs_x, bs_y)]
     for index, (x, y) in enumerate(positions, start=1):
         nodes.append(SensorNode(index, float(x), float(y)))
-    return Network(nodes, config.radio_range_m, packet_format, energy_model)
+    link_quality = (
+        LinkQuality(loss_rate=config.loss_rate, seed=config.seed)
+        if config.loss_rate > 0.0
+        else None
+    )
+    return Network(
+        nodes, config.radio_range_m, packet_format, energy_model,
+        link_quality=link_quality,
+    )
 
 
 def deploy_uniform(

@@ -1,4 +1,4 @@
-"""Link-layer model: packetization and the shared radio channel.
+"""Link-layer model: packetization, packet loss and the shared radio channel.
 
 The paper's cost metric is the number of link-layer transmissions given a
 maximum packet size (48 bytes by default, 124 bytes in the §VI-A study).  A
@@ -12,23 +12,49 @@ A *broadcast* costs the sender one transmission burst regardless of how many
 neighbours listen; every listed receiver pays the receive cost.  This matters
 for Filter-Dissemination, where a node broadcasts the pruned filter once to
 all its children (§IV-C, Fig. 3: ``broadcast(SubtreeFilter)``).
+
+Lossy links and ARQ (§IV-F)
+---------------------------
+The paper evaluates on ns-2 with a realistic radio; message loss is absorbed
+by the link layer, which retransmits until delivery.  The channel models
+this when given a per-link loss probability (the network derives it from a
+:class:`~repro.sim.network.LinkQuality` model): each packet independently
+needs a geometrically distributed number of attempts, bounded by
+:class:`ArqConfig.max_retries`.  Retransmissions are charged to the sender's
+energy ledger and recorded in the statistics collector's *retransmission*
+dimension — they never inflate the paper's first-transmission metric.  Each
+retry also costs an ACK-timeout with exponential backoff, surfaced through
+:attr:`Channel.last_send_latency_s` so the response-time studies see the
+cost of unreliable links.
+
+Two deliberate accounting simplifications: the retry bound caps the *charged*
+attempts (delivery itself is persistent, so protocol results stay exact —
+the residual loss beyond ``max_retries`` retries is below 1e-4 at the rates
+studied), and loss draws use inverse-transform sampling with exactly one
+uniform draw per packet per receiver, so retransmission counts are
+*pointwise monotone* in the loss rate under a fixed seed.
+
+Without a loss model the channel is byte-for-byte the lossless channel: no
+random draws, no extra charges, no latency difference.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from .. import constants
 from ..errors import SimulationError
 from .energy import EnergyLedger
 from .stats import TransmissionStats
+from .trace import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Environment
 
-__all__ = ["PacketFormat", "Transmission", "Channel"]
+__all__ = ["PacketFormat", "ArqConfig", "Transmission", "Channel"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +87,45 @@ class PacketFormat:
             raise ValueError(f"negative packet count: {packets}")
         return packets * self.max_packet_bytes
 
+    def fragment_sizes(self, payload_bytes: int) -> list[int]:
+        """Per-packet payload bytes: full packets plus the remainder."""
+        packets = self.packets_for(payload_bytes)
+        if packets == 0:
+            return []
+        sizes = [self.max_packet_bytes] * (packets - 1)
+        sizes.append(payload_bytes - self.max_packet_bytes * (packets - 1))
+        return sizes
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Link-layer retransmission policy (stop-and-wait with backoff)."""
+
+    max_retries: int = constants.DEFAULT_ARQ_MAX_RETRIES
+    ack_timeout_s: float = constants.DEFAULT_ARQ_ACK_TIMEOUT_S
+    backoff_factor: float = constants.DEFAULT_ARQ_BACKOFF_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"negative retry bound: {self.max_retries}")
+        if self.ack_timeout_s < 0:
+            raise ValueError(f"negative ACK timeout: {self.ack_timeout_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_delay_s(self, retries: int) -> float:
+        """Total ACK-timeout wait accumulated over ``retries`` retransmissions."""
+        if retries < 0:
+            raise ValueError(f"negative retry count: {retries}")
+        delay = 0.0
+        timeout = self.ack_timeout_s
+        for _ in range(retries):
+            delay += timeout
+            timeout *= self.backoff_factor
+        return delay
+
 
 @dataclass(frozen=True)
 class Transmission:
@@ -71,6 +136,8 @@ class Transmission:
     payload_bytes: int
     packets: int
     phase: str
+    #: Link-layer retransmissions the ARQ needed on top of ``packets``.
+    retries: int = 0
 
 
 class Channel:
@@ -81,6 +148,11 @@ class Channel:
     rule, charges per-node energy ledgers, and records into the statistics
     collector.  With an :class:`~repro.sim.kernel.Environment` attached, the
     ``latency_for`` helper lets protocol processes model per-packet delay.
+
+    When ``loss_probability`` is given (a callable ``(sender, receiver) ->
+    probability``), every packet additionally runs through the bounded ARQ
+    described in the module docstring; without it the channel is lossless
+    and behaves exactly as before.
     """
 
     def __init__(
@@ -90,13 +162,30 @@ class Channel:
         ledgers: dict[int, EnergyLedger],
         hop_latency_s: float = constants.DEFAULT_HOP_LATENCY_S,
         env: Optional["Environment"] = None,
+        loss_probability: Optional[Callable[[int, int], float]] = None,
+        arq: Optional[ArqConfig] = None,
+        arq_seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.packet_format = packet_format
         self.stats = stats
         self.ledgers = ledgers
         self.hop_latency_s = hop_latency_s
         self.env = env
+        self.loss_probability = loss_probability
+        self.arq = arq or ArqConfig()
+        # Not `tracer or ...`: an empty ListTracer is falsy (it has __len__).
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.log: list[Transmission] = []
+        #: Serialisation + ARQ latency of the most recent send (zero when the
+        #: last send carried nothing).  Equals ``latency_for(payload)`` on a
+        #: lossless channel.
+        self.last_send_latency_s = 0.0
+        #: ARQ latency (retransmission serialisation + backoff) accumulated
+        #: since the last :meth:`reset_arq`.
+        self.total_arq_delay_s = 0.0
+        self._arq_seed = arq_seed
+        self._rng = random.Random(arq_seed)
 
     def _ledger(self, node_id: int) -> EnergyLedger:
         ledger = self.ledgers.get(node_id)
@@ -104,37 +193,144 @@ class Channel:
             raise SimulationError(f"no energy ledger for node {node_id}")
         return ledger
 
+    # -- ARQ internals -------------------------------------------------------
+
+    @property
+    def lossy(self) -> bool:
+        """True when a per-link loss model is attached."""
+        return self.loss_probability is not None
+
+    def reset_arq(self) -> None:
+        """Re-seed the loss draws and zero the ARQ latency accumulator.
+
+        Called between independent query executions so every run sees the
+        same deterministic loss realisation regardless of history.
+        """
+        self._rng = random.Random(self._arq_seed)
+        self.last_send_latency_s = 0.0
+        self.total_arq_delay_s = 0.0
+
+    def _draw_retries(self, p_loss: float) -> int:
+        """Retransmissions one packet needs on a link losing ``p_loss``.
+
+        Inverse-transform geometric sampling: exactly one uniform draw is
+        consumed whatever ``p_loss`` is, so under a fixed seed the retry
+        count is monotone in the loss rate (a higher rate can only add
+        retries to the same draw sequence, never shuffle it).
+        """
+        u = self._rng.random()
+        if p_loss <= 0.0:
+            return 0
+        if p_loss >= 1.0 or u <= 0.0:
+            return self.arq.max_retries
+        retries = int(math.log(u) / math.log(p_loss))
+        return min(retries, self.arq.max_retries)
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _charge_retries(
+        self,
+        sender: int,
+        phase: str,
+        retx_packets: int,
+        retx_bytes: int,
+        receivers: tuple[int, ...],
+    ) -> float:
+        """Charge/record ARQ retries; returns the extra latency incurred."""
+        if retx_packets == 0:
+            return 0.0
+        self._ledger(sender).charge_retx(retx_bytes, retx_packets)
+        self.stats.record_retx(sender, phase, retx_packets, retx_bytes)
+        arq_delay = (
+            retx_packets * self.hop_latency_s
+            + self.arq.backoff_delay_s(retx_packets)
+        )
+        self.total_arq_delay_s += arq_delay
+        self.tracer.emit(
+            self._now(), sender, "link-retx",
+            receivers=receivers, phase=phase, retries=retx_packets,
+            bytes=retx_bytes,
+        )
+        return arq_delay
+
+    # -- sends ---------------------------------------------------------------
+
     def unicast(self, sender: int, receiver: int, payload_bytes: int, phase: str) -> int:
         """Send ``payload_bytes`` from ``sender`` to ``receiver``.
 
-        Returns the number of packets transmitted (0 for an empty payload).
+        Returns the number of packets transmitted (0 for an empty payload);
+        ARQ retransmissions are accounted separately and not included.
         """
         packets = self.packet_format.packets_for(payload_bytes)
+        self.last_send_latency_s = 0.0
         if packets == 0:
             return 0
+        retx_packets = 0
+        retx_bytes = 0
+        if self.loss_probability is not None:
+            p_loss = self.loss_probability(sender, receiver)
+            for size in self.packet_format.fragment_sizes(payload_bytes):
+                retries = self._draw_retries(p_loss)
+                retx_packets += retries
+                retx_bytes += retries * size
         self._ledger(sender).charge_tx(payload_bytes, packets)
         self._ledger(receiver).charge_rx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
         self.stats.record_rx(receiver, phase, packets, payload_bytes)
-        self.log.append(Transmission(sender, (receiver,), payload_bytes, packets, phase))
+        arq_delay = self._charge_retries(
+            sender, phase, retx_packets, retx_bytes, (receiver,)
+        )
+        self.last_send_latency_s = packets * self.hop_latency_s + arq_delay
+        self.log.append(
+            Transmission(sender, (receiver,), payload_bytes, packets, phase, retx_packets)
+        )
         return packets
 
     def broadcast(
         self, sender: int, receivers: Iterable[int], payload_bytes: int, phase: str
     ) -> int:
-        """Broadcast to all ``receivers``: one tx burst, one rx per listener."""
+        """Broadcast to all ``receivers``: one tx burst, one rx per listener.
+
+        With no receivers nothing is transmitted at all — a leaf with no
+        children must not pay for a broadcast nobody hears.  Under loss the
+        sender repeats each packet until the *worst* listener has a copy
+        (bounded by the ARQ policy); listeners are charged one receive per
+        packet (duplicate copies overheard during retries are free).
+        """
         receiver_ids = tuple(receivers)
         packets = self.packet_format.packets_for(payload_bytes)
-        if packets == 0:
+        self.last_send_latency_s = 0.0
+        if packets == 0 or not receiver_ids:
             return 0
+        retx_packets = 0
+        retx_bytes = 0
+        if self.loss_probability is not None:
+            losses = [
+                self.loss_probability(sender, receiver) for receiver in receiver_ids
+            ]
+            for size in self.packet_format.fragment_sizes(payload_bytes):
+                retries = max(self._draw_retries(p_loss) for p_loss in losses)
+                retx_packets += retries
+                retx_bytes += retries * size
         self._ledger(sender).charge_tx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
         for receiver in receiver_ids:
             self._ledger(receiver).charge_rx(payload_bytes, packets)
             self.stats.record_rx(receiver, phase, packets, payload_bytes)
-        self.log.append(Transmission(sender, receiver_ids, payload_bytes, packets, phase))
+        arq_delay = self._charge_retries(
+            sender, phase, retx_packets, retx_bytes, receiver_ids
+        )
+        self.last_send_latency_s = packets * self.hop_latency_s + arq_delay
+        self.log.append(
+            Transmission(sender, receiver_ids, payload_bytes, packets, phase, retx_packets)
+        )
         return packets
 
     def latency_for(self, payload_bytes: int) -> float:
-        """Wall-clock duration of sending ``payload_bytes`` over one hop."""
+        """Serialisation duration of ``payload_bytes`` over one lossless hop.
+
+        Pure function of the payload; ARQ costs of an actual send are in
+        :attr:`last_send_latency_s`.
+        """
         return self.packet_format.packets_for(payload_bytes) * self.hop_latency_s

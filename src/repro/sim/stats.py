@@ -43,10 +43,17 @@ class NodeLoad:
     tx_bytes: int
     rx_packets: int
     rx_bytes: int
+    #: ARQ retransmissions; zero on a lossless channel.
+    retx_packets: int = 0
 
     @property
     def total_packets(self) -> int:
-        """Transmitted plus received packets (radio duty proxy)."""
+        """Transmitted plus received packets (radio duty proxy).
+
+        Retransmissions are excluded so the value matches the paper's
+        lossless transmission metric; add :attr:`retx_packets` for the full
+        radio duty under loss.
+        """
         return self.tx_packets + self.rx_packets
 
 
@@ -58,6 +65,8 @@ class TransmissionStats:
         self._tx_bytes: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
         self._rx_packets: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
         self._rx_bytes: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._retx_packets: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._retx_bytes: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
 
     # -- recording ----------------------------------------------------------
 
@@ -74,6 +83,17 @@ class TransmissionStats:
             raise ValueError("packet and byte counts must be non-negative")
         self._rx_packets[node_id][phase] += packets
         self._rx_bytes[node_id][phase] += payload_bytes
+
+    def record_retx(self, node_id: int, phase: str, packets: int, payload_bytes: int) -> None:
+        """Record ARQ retransmissions by ``node_id`` in ``phase``.
+
+        Kept in a separate dimension from :meth:`record_tx` so loss studies
+        never perturb the paper's first-transmission metric.
+        """
+        if packets < 0 or payload_bytes < 0:
+            raise ValueError("packet and byte counts must be non-negative")
+        self._retx_packets[node_id][phase] += packets
+        self._retx_bytes[node_id][phase] += payload_bytes
 
     # -- aggregation ---------------------------------------------------------
 
@@ -117,13 +137,40 @@ class TransmissionStats:
         """Packets received by one node across all phases."""
         return sum(self._rx_packets.get(node_id, {}).values())
 
+    def total_retx_packets(self, phases: Iterable[str] | None = None) -> int:
+        """Total ARQ retransmissions network-wide, optionally per phases."""
+        wanted = None if phases is None else set(phases)
+        total = 0
+        for by_phase in self._retx_packets.values():
+            for phase, count in by_phase.items():
+                if wanted is None or phase in wanted:
+                    total += count
+        return total
+
+    def retx_packets_by_phase(self) -> Dict[str, int]:
+        """Network-wide ARQ retransmissions per phase."""
+        result: Dict[str, int] = defaultdict(int)
+        for by_phase in self._retx_packets.values():
+            for phase, count in by_phase.items():
+                result[phase] += count
+        return dict(result)
+
+    def node_retx_packets(self, node_id: int) -> int:
+        """ARQ retransmissions by one node across all phases."""
+        return sum(self._retx_packets.get(node_id, {}).values())
+
     def per_node_loads(self, descendants: Mapping[int, int]) -> list[NodeLoad]:
         """Per-node load rows joined with routing-tree descendant counts.
 
         ``descendants`` maps node id -> number of descendants; nodes present
         in either mapping appear in the output (missing counters are zero).
         """
-        node_ids = set(descendants) | set(self._tx_packets) | set(self._rx_packets)
+        node_ids = (
+            set(descendants)
+            | set(self._tx_packets)
+            | set(self._rx_packets)
+            | set(self._retx_packets)
+        )
         rows = []
         for node_id in sorted(node_ids):
             rows.append(
@@ -134,6 +181,7 @@ class TransmissionStats:
                     tx_bytes=sum(self._tx_bytes.get(node_id, {}).values()),
                     rx_packets=sum(self._rx_packets.get(node_id, {}).values()),
                     rx_bytes=sum(self._rx_bytes.get(node_id, {}).values()),
+                    retx_packets=sum(self._retx_packets.get(node_id, {}).values()),
                 )
             )
         return rows
@@ -159,3 +207,9 @@ class TransmissionStats:
         for node_id, by_phase in other._rx_bytes.items():
             for phase, count in by_phase.items():
                 self._rx_bytes[node_id][phase] += count
+        for node_id, by_phase in other._retx_packets.items():
+            for phase, count in by_phase.items():
+                self._retx_packets[node_id][phase] += count
+        for node_id, by_phase in other._retx_bytes.items():
+            for phase, count in by_phase.items():
+                self._retx_bytes[node_id][phase] += count

@@ -76,6 +76,13 @@ class ListTracer(Tracer):
         """The distinct event kinds seen so far."""
         return {event.kind for event in self.events}
 
+    def counts_by_kind(self) -> dict[str, int]:
+        """Number of events per kind (quick protocol-activity summary)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 

@@ -18,7 +18,9 @@ def interval_with_point(draw):
     b = draw(finite)
     lo, hi = min(a, b), max(a, b)
     t = draw(st.floats(min_value=0.0, max_value=1.0))
-    point = lo + t * (hi - lo)
+    # Clamp: rounding in lo + t*(hi - lo) can land just outside [lo, hi]
+    # (e.g. lo=-1.0, hi=-3e-105, t=1.0 gives 0.0).
+    point = min(max(lo + t * (hi - lo), lo), hi)
     return Interval(lo, hi), point
 
 

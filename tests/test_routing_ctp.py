@@ -6,7 +6,8 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.routing.ctp import build_tree, repair_tree
-from repro.sim.node import BASE_STATION_ID
+from repro.sim.network import DeploymentConfig, LinkQuality, Network, deploy_uniform
+from repro.sim.node import BASE_STATION_ID, SensorNode
 
 
 def bfs_hops(network):
@@ -126,3 +127,57 @@ def test_repaired_tree_is_min_hop_over_survivors(small_network):
         if node_id == BASE_STATION_ID:
             continue
         assert report.tree.depth(node_id) == hops[node_id]
+
+
+def test_tie_break_etx_prefers_reliable_parent():
+    # A diamond: node 3 can reach the root through 1 (short link) or
+    # 2 (boundary-length link); under loss, ETX must pick 1.
+    nodes = [
+        SensorNode(BASE_STATION_ID, 0.0, 0.0),
+        SensorNode(1, 30.0, 10.0),
+        SensorNode(2, 0.0, 50.0),
+        SensorNode(3, 40.0, 40.0),
+    ]
+    network = Network(
+        nodes, radio_range_m=50.0,
+        link_quality=LinkQuality(loss_rate=0.3),
+    )
+    tree = build_tree(network)  # default resolves to "etx" on a lossy network
+    dist_1 = network.nodes[3].distance_to(network.nodes[1])
+    dist_2 = network.nodes[3].distance_to(network.nodes[2])
+    assert dist_1 < dist_2  # sanity: 1 really is the shorter link
+    assert network.link_etx(3, 1) < network.link_etx(3, 2)
+    assert tree.parent(3) == 1
+
+
+def test_default_tie_break_is_random_when_lossless(small_network):
+    assert small_network.link_quality is None
+    default_tree = build_tree(small_network, seed=11)
+    random_tree = build_tree(small_network, tie_break="random", seed=11)
+    assert default_tree.as_parent_map() == random_tree.as_parent_map()
+
+
+def test_etx_tree_identical_across_loss_rates():
+    # With a uniform worst-link rate the ETX ordering equals the distance
+    # ordering, so the tree must not depend on the rate's magnitude.
+    trees = []
+    for loss_rate in (0.05, 0.1, 0.3):
+        config = DeploymentConfig(
+            node_count=80, area_side_m=240.0, seed=4, loss_rate=loss_rate
+        )
+        network = deploy_uniform(config)
+        trees.append(build_tree(network).as_parent_map())
+    assert trees[0] == trees[1] == trees[2]
+
+
+def test_repair_uses_etx_on_lossy_network():
+    config = DeploymentConfig(node_count=80, area_side_m=240.0, seed=4, loss_rate=0.3)
+    network = deploy_uniform(config)
+    tree = build_tree(network)
+    # Fail one tree link; the child must re-pick by ETX (deterministic).
+    child = next(n for n in tree.node_ids if n != tree.root
+                 and len([c for c in network.neighbours(n)]) > 2)
+    network.fail_link(child, tree.parent(child))
+    report_a = repair_tree(network, tree)
+    report_b = repair_tree(network, tree)
+    assert report_a.tree.as_parent_map() == report_b.tree.as_parent_map()

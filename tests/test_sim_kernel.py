@@ -278,3 +278,183 @@ def test_is_alive_lifecycle():
     assert process.is_alive
     env.run()
     assert not process.is_alive
+
+
+# -- deferred Timeout triggering ---------------------------------------------
+
+
+def test_timeout_not_triggered_before_fire_time():
+    env = Environment()
+    timeout = env.timeout(5.0, value="late")
+    assert not timeout.triggered
+    with pytest.raises(SimulationError):
+        timeout.value
+    env.run(until=1.0)
+    assert not timeout.triggered
+    env.run(until=5.0)
+    assert timeout.triggered and timeout.processed
+    assert timeout.ok
+    assert timeout.value == "late"
+
+
+def test_timeout_cannot_be_triggered_externally():
+    env = Environment()
+    timeout = env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        timeout.succeed()
+    with pytest.raises(SimulationError):
+        timeout.fail(RuntimeError("boom"))
+    env.run()
+    assert timeout.ok
+
+
+def test_timeout_observed_pending_then_fired_by_process():
+    env = Environment()
+    observations = []
+
+    def observer(watched):
+        observations.append(watched.triggered)
+        yield env.timeout(3.0)
+        observations.append((watched.triggered, watched.value))
+
+    watched = env.timeout(2.0, value=7)
+    env.process(observer(watched))
+    env.run()
+    assert observations == [False, (True, 7)]
+
+
+# -- run(until=t) clock semantics --------------------------------------------
+
+
+def test_run_until_advances_clock_to_deadline_without_events():
+    env = Environment()
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_deadline_beyond_last_event():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run(until=10.0)
+    assert log == [1.5]
+    assert env.now == 10.0
+
+
+def test_run_until_does_not_fire_later_events():
+    env = Environment()
+    late = env.timeout(5.0)
+    env.run(until=2.0)
+    assert env.now == 2.0
+    assert not late.triggered
+    env.run()
+    assert late.triggered
+
+
+# -- interrupting a process waiting on an already-triggered event -------------
+
+
+def test_interrupt_while_waiting_on_processed_event():
+    env = Environment()
+    log = []
+    early = env.event()
+    early.succeed("early-value")
+
+    def waiter():
+        yield env.timeout(1.0)
+        try:
+            value = yield early  # processed long ago; bridge event pending
+            log.append(("value", value))
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause))
+        yield env.timeout(1.0)
+        log.append(("done", env.now))
+
+    process = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        process.interrupt("now")
+
+    env.process(interrupter())
+    env.run()
+    # Exactly one of the two wakeups resumed the generator at the yield.
+    assert log == [("interrupted", "now"), ("done", 2.0)]
+
+
+def test_interrupt_on_processed_event_no_double_resume():
+    env = Environment()
+    resumes = []
+    early = env.event()
+    early.succeed()
+
+    def waiter():
+        yield env.timeout(1.0)
+        try:
+            yield early
+        except Interrupt:
+            pass
+        resumes.append(env.now)
+        yield env.timeout(3.0)
+        resumes.append(env.now)
+
+    process = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        process.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert resumes == [1.0, 4.0]
+
+
+# -- AllOf over processed / failed children -----------------------------------
+
+
+def test_all_of_mix_of_processed_and_pending_children():
+    env = Environment()
+    done = env.event()
+    done.succeed("first")
+    env.run()  # process `done` fully
+    assert done.processed
+    pending = env.timeout(2.0, value="second")
+    combined = env.all_of([done, pending])
+    result = env.run(until=combined)
+    assert result == ["first", "second"]
+
+
+def test_all_of_with_failed_child_fails():
+    env = Environment()
+    ok = env.event()
+    ok.succeed()
+    bad = env.event()
+    bad.fail(RuntimeError("child failed"))
+    env.run()  # both children processed
+    combined = env.all_of([ok, bad])
+    with pytest.raises(RuntimeError, match="child failed"):
+        env.run(until=combined)
+
+
+def test_all_of_processed_failure_seen_by_waiting_process():
+    env = Environment()
+    log = []
+    bad = env.event()
+    bad.fail(ValueError("poisoned"))
+    env.run()
+
+    def waiter():
+        good = env.timeout(1.0)
+        try:
+            yield env.all_of([good, bad])
+        except ValueError as exc:
+            log.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert log == ["poisoned"]

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import NetworkError
 from repro.sim.network import (
     DeploymentConfig,
+    LinkQuality,
     Network,
     deploy_clustered,
     deploy_grid,
@@ -138,3 +139,86 @@ def test_node_helpers():
     assert node.belongs_to("sensors") and not node.belongs_to("other")
     assert not node.is_base_station
     assert SensorNode(BASE_STATION_ID, 0, 0).is_base_station
+
+
+def test_fail_link_rejects_unknown_nodes(small_network):
+    with pytest.raises(NetworkError, match="unknown node"):
+        small_network.fail_link(1, 99999)
+    with pytest.raises(NetworkError, match="unknown node"):
+        small_network.fail_link(99999, 1)
+    # A rejected call must not leave a stale entry behind.
+    assert frozenset((1, 99999)) not in small_network._failed_links
+
+
+def test_fail_link_rejects_self_link(small_network):
+    with pytest.raises(NetworkError):
+        small_network.fail_link(5, 5)
+
+
+def test_link_quality_validation():
+    with pytest.raises(ValueError):
+        LinkQuality(loss_rate=1.0)
+    with pytest.raises(ValueError):
+        LinkQuality(loss_rate=-0.1)
+    with pytest.raises(ValueError):
+        LinkQuality(loss_rate=0.1, distance_exponent=-1.0)
+
+
+def test_link_quality_distance_shape():
+    quality = LinkQuality(loss_rate=0.3, distance_exponent=2.0)
+    assert quality.enabled
+    assert quality.loss_probability(0.0, 50.0) == 0.0
+    assert quality.loss_probability(25.0, 50.0) == pytest.approx(0.3 * 0.25)
+    assert quality.loss_probability(50.0, 50.0) == pytest.approx(0.3)
+    # Distances beyond the range (no such links exist) are clamped.
+    assert quality.loss_probability(80.0, 50.0) == pytest.approx(0.3)
+    assert quality.prr(50.0, 50.0) == pytest.approx(0.7)
+
+
+def test_disabled_link_quality_is_normalised_away():
+    config = DeploymentConfig(node_count=60, area_side_m=210.0, seed=2)
+    network = deploy_uniform(config)
+    assert network.link_quality is None
+    assert network.channel.loss_probability is None
+    assert network.link_loss_probability(1, 2) == 0.0
+    assert network.link_etx(1, 2) == 1.0
+
+
+def test_lossy_deployment_wires_the_channel():
+    config = DeploymentConfig(node_count=60, area_side_m=210.0, seed=2, loss_rate=0.2)
+    network = deploy_uniform(config)
+    assert network.link_quality is not None
+    assert network.link_quality.loss_rate == 0.2
+    assert network.channel.loss_probability is not None
+    node = network.sensor_node_ids[0]
+    neighbour = next(iter(network.neighbours(node)))
+    p_link = network.link_loss_probability(node, neighbour)
+    assert 0.0 <= p_link < 0.2  # links are shorter than the range
+    assert network.link_etx(node, neighbour) == pytest.approx(1.0 / (1.0 - p_link))
+    # Same positions as the lossless deployment: loss only affects links.
+    lossless = deploy_uniform(DeploymentConfig(node_count=60, area_side_m=210.0, seed=2))
+    assert all(
+        network.nodes[n].x == lossless.nodes[n].x for n in network.node_ids
+    )
+
+
+def test_config_loss_rate_validated_and_scaled():
+    with pytest.raises(ValueError):
+        DeploymentConfig(loss_rate=1.5)
+    config = DeploymentConfig(node_count=600, loss_rate=0.25)
+    assert config.scaled(1200).loss_rate == 0.25
+
+
+def test_reset_accounting_reseeds_arq():
+    config = DeploymentConfig(node_count=60, area_side_m=210.0, seed=2, loss_rate=0.3)
+    network = deploy_uniform(config)
+    node = network.sensor_node_ids[0]
+    neighbour = next(iter(network.neighbours(node)))
+    network.reset_accounting()
+    for _ in range(50):
+        network.channel.unicast(node, neighbour, 480, "phase")
+    first = network.stats.total_retx_packets()
+    network.reset_accounting()
+    for _ in range(50):
+        network.channel.unicast(node, neighbour, 480, "phase")
+    assert network.stats.total_retx_packets() == first

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.energy import EnergyLedger
-from repro.sim.radio import Channel, PacketFormat
+from repro.sim.radio import ArqConfig, Channel, PacketFormat
 from repro.sim.stats import TransmissionStats
 
 
@@ -99,3 +99,171 @@ class TestChannel:
         channel.broadcast(2, [1, 3], 20, "b")
         assert [t.phase for t in channel.log] == ["a", "b"]
         assert channel.log[1].receivers == (1, 3)
+
+
+def make_lossy_channel(p_loss, max_packet=48, nodes=(1, 2, 3), seed=0, arq=None,
+                       tracer=None):
+    """A channel where every link loses each packet with probability p_loss."""
+    stats = TransmissionStats()
+    ledgers = {node: EnergyLedger() for node in nodes}
+    channel = Channel(
+        PacketFormat(max_packet), stats, ledgers,
+        loss_probability=lambda a, b: p_loss, arq=arq, arq_seed=seed,
+        tracer=tracer,
+    )
+    return channel, stats, ledgers
+
+
+class TestEmptyBroadcast:
+    def test_no_receivers_is_a_noop(self):
+        channel, stats, ledgers = make_channel()
+        assert channel.broadcast(1, [], 100, "flood") == 0
+        assert ledgers[1].tx_packets == 0
+        assert ledgers[1].tx_energy == 0.0
+        assert stats.total_tx_packets() == 0
+        assert channel.log == []
+        assert channel.last_send_latency_s == 0.0
+
+    def test_no_receivers_noop_even_under_loss(self):
+        channel, stats, _ = make_lossy_channel(0.5)
+        assert channel.broadcast(1, [], 100, "flood") == 0
+        assert stats.total_tx_packets() == 0
+        assert stats.total_retx_packets() == 0
+
+
+class TestArqConfig:
+    def test_defaults_from_constants(self):
+        from repro import constants
+
+        arq = ArqConfig()
+        assert arq.max_retries == constants.DEFAULT_ARQ_MAX_RETRIES
+        assert arq.ack_timeout_s == constants.DEFAULT_ARQ_ACK_TIMEOUT_S
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArqConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ArqConfig(ack_timeout_s=-0.1)
+        with pytest.raises(ValueError):
+            ArqConfig(backoff_factor=0.5)
+
+    def test_backoff_delay_is_exponential(self):
+        arq = ArqConfig(ack_timeout_s=0.01, backoff_factor=2.0)
+        assert arq.backoff_delay_s(0) == 0.0
+        assert arq.backoff_delay_s(1) == pytest.approx(0.01)
+        assert arq.backoff_delay_s(3) == pytest.approx(0.01 + 0.02 + 0.04)
+
+
+class TestLossyChannel:
+    def test_lossless_channel_has_no_retx(self):
+        channel, stats, ledgers = make_channel()
+        channel.unicast(1, 2, 100, "phase")
+        channel.broadcast(1, [2, 3], 100, "phase")
+        assert stats.total_retx_packets() == 0
+        assert ledgers[1].retx_packets == 0
+        assert all(t.retries == 0 for t in channel.log)
+
+    def test_lossless_channel_draws_no_randomness(self):
+        channel, _, _ = make_channel()
+        before = channel._rng.getstate()
+        channel.unicast(1, 2, 100, "phase")
+        channel.broadcast(1, [2, 3], 100, "phase")
+        assert channel._rng.getstate() == before
+
+    def test_zero_probability_link_still_consumes_draws(self):
+        # RNG stream alignment across loss rates requires one draw per
+        # packet whenever the loss layer is on, even for perfect links.
+        channel, _, _ = make_lossy_channel(0.0)
+        before = channel._rng.getstate()
+        channel.unicast(1, 2, 100, "phase")  # 3 packets -> 3 draws
+        assert channel._rng.getstate() != before
+
+    def test_retx_charged_and_recorded(self):
+        channel, stats, ledgers = make_lossy_channel(0.6, seed=1)
+        channel.unicast(1, 2, 480, "phase")  # 10 packets at p=0.6
+        retx = stats.total_retx_packets()
+        assert retx > 0
+        assert ledgers[1].retx_packets == retx
+        assert ledgers[1].retx_energy > 0
+        assert ledgers[2].rx_packets == 10  # receiver charged once per packet
+        assert stats.total_tx_packets() == 10  # first transmissions untouched
+        assert channel.log[0].retries == retx
+
+    def test_retries_bounded_by_arq_policy(self):
+        arq = ArqConfig(max_retries=2)
+        channel, stats, _ = make_lossy_channel(0.99, seed=0, arq=arq)
+        channel.unicast(1, 2, 48 * 5, "phase")
+        assert stats.total_retx_packets() <= 2 * 5
+
+    def test_deterministic_under_seed_and_reset(self):
+        channel, stats, _ = make_lossy_channel(0.3, seed=42)
+        channel.unicast(1, 2, 480, "phase")
+        first = stats.total_retx_packets()
+        channel.reset_arq()
+        stats2 = TransmissionStats()
+        channel.stats = stats2
+        channel.unicast(1, 2, 480, "phase")
+        assert stats2.total_retx_packets() == first
+
+    def test_retries_monotone_in_loss_rate(self):
+        counts = []
+        for p_loss in (0.0, 0.05, 0.1, 0.2, 0.4, 0.8):
+            channel, stats, _ = make_lossy_channel(p_loss, seed=7)
+            for _ in range(20):
+                channel.unicast(1, 2, 100, "phase")
+            counts.append(stats.total_retx_packets())
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+    def test_broadcast_repeats_for_worst_listener(self):
+        def per_link(a, b):
+            return 0.0 if b == 2 else 0.7
+
+        stats = TransmissionStats()
+        ledgers = {node: EnergyLedger() for node in (1, 2, 3)}
+        channel = Channel(PacketFormat(48), stats, ledgers,
+                          loss_probability=per_link, arq_seed=3)
+        channel.broadcast(1, [2, 3], 480, "flood")
+        assert stats.total_retx_packets() > 0
+        # Listeners pay one receive per packet, not per retry.
+        assert ledgers[2].rx_packets == 10 and ledgers[3].rx_packets == 10
+
+    def test_last_send_latency_includes_arq_delay(self):
+        channel, _, _ = make_lossy_channel(0.8, seed=0)
+        packets = channel.unicast(1, 2, 480, "phase")
+        serialisation = packets * channel.hop_latency_s
+        assert channel.last_send_latency_s > serialisation
+        assert channel.total_arq_delay_s == pytest.approx(
+            channel.last_send_latency_s - serialisation
+        )
+
+    def test_last_send_latency_matches_latency_for_when_lossless(self):
+        channel, _, _ = make_channel()
+        channel.unicast(1, 2, 100, "phase")
+        assert channel.last_send_latency_s == channel.latency_for(100)
+        channel.unicast(1, 2, 0, "phase")
+        assert channel.last_send_latency_s == 0.0
+
+    def test_tracer_sees_link_retx_events(self):
+        from repro.sim.trace import ListTracer
+
+        tracer = ListTracer()
+        channel, _, _ = make_lossy_channel(0.7, seed=5, tracer=tracer)
+        channel.unicast(1, 2, 480, "phase")
+        events = tracer.filter(kind="link-retx")
+        assert events
+        assert events[0].node_id == 1
+        assert events[0].detail["retries"] > 0
+
+    def test_fragment_sizes_cover_payload(self):
+        fmt = PacketFormat(48)
+        assert fmt.fragment_sizes(0) == []
+        assert fmt.fragment_sizes(48) == [48]
+        assert fmt.fragment_sizes(100) == [48, 48, 4]
+        assert sum(fmt.fragment_sizes(1234)) == 1234
+
+    @given(st.floats(min_value=0.0, max_value=0.95), st.integers(0, 2**32))
+    def test_draw_retries_within_bounds(self, p_loss, seed):
+        channel, _, _ = make_lossy_channel(p_loss, seed=seed)
+        retries = channel._draw_retries(p_loss)
+        assert 0 <= retries <= channel.arq.max_retries

@@ -83,3 +83,42 @@ def test_per_node_loads_sum_matches_totals():
         stats.record_tx(node, "p", packets, packets * 10)
     loads = stats.per_node_loads({})
     assert sum(load.tx_packets for load in loads) == stats.total_tx_packets()
+
+
+def test_retx_dimension_separate_from_tx():
+    stats = TransmissionStats()
+    stats.record_tx(1, "collection", 5, 100)
+    stats.record_retx(1, "collection", 2, 40)
+    stats.record_retx(2, "final", 3, 60)
+    assert stats.total_tx_packets() == 5  # first transmissions untouched
+    assert stats.total_retx_packets() == 5
+    assert stats.total_retx_packets(["collection"]) == 2
+    assert stats.retx_packets_by_phase() == {"collection": 2, "final": 3}
+    assert stats.node_retx_packets(1) == 2
+    assert stats.node_retx_packets(99) == 0
+
+
+def test_record_retx_rejects_negative():
+    stats = TransmissionStats()
+    with pytest.raises(ValueError):
+        stats.record_retx(1, "p", -1, 0)
+
+
+def test_merge_adds_retx_counters():
+    a = TransmissionStats()
+    b = TransmissionStats()
+    a.record_retx(1, "x", 1, 10)
+    b.record_retx(1, "x", 2, 20)
+    a.merge(b)
+    assert a.total_retx_packets() == 3
+
+
+def test_per_node_loads_include_retx():
+    stats = TransmissionStats()
+    stats.record_tx(1, "p", 4, 40)
+    stats.record_retx(1, "p", 2, 20)
+    stats.record_retx(7, "p", 1, 10)  # a node with only retransmissions
+    loads = {load.node_id: load for load in stats.per_node_loads({})}
+    assert loads[1].retx_packets == 2
+    assert loads[1].total_packets == 4  # retx excluded from the paper metric
+    assert loads[7].retx_packets == 1

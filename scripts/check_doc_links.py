@@ -1,0 +1,64 @@
+"""Verify that every relative Markdown link in the docs resolves.
+
+Usage::
+
+    python scripts/check_doc_links.py [FILE ...]
+
+With no arguments, checks ``docs/*.md`` plus the top-level README.md,
+EXPERIMENTS.md and DESIGN.md.  External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#...``) are skipped; a relative target's
+optional ``#fragment`` is ignored.  Exits non-zero listing every broken
+link — CI runs this so documentation cannot drift away from the tree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DEFAULT_FILES = ("README.md", "EXPERIMENTS.md", "DESIGN.md")
+
+
+def broken_links(path: Path) -> list:
+    """(line_number, target) pairs of relative links that do not resolve."""
+    broken = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((number, target))
+    return broken
+
+
+def main(argv) -> int:
+    if argv:
+        files = [Path(name) for name in argv]
+    else:
+        files = sorted((REPO_ROOT / "docs").glob("*.md"))
+        files += [REPO_ROOT / name for name in DEFAULT_FILES
+                  if (REPO_ROOT / name).exists()]
+    failures = 0
+    for path in files:
+        for number, target in broken_links(path):
+            print(f"{path.relative_to(REPO_ROOT)}:{number}: broken link -> {target}")
+            failures += 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if failures:
+        print(f"{failures} broken link(s) across {len(files)} file(s)")
+        return 1
+    print(f"all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,20 +1,22 @@
-"""Regenerate every paper table/figure series and write them to a report.
+"""Regenerate every paper table/figure series (legacy wrapper).
 
-Usage::
+This script predates the parallel bench CLI and now simply forwards to it;
+prefer calling the CLI directly::
 
-    python scripts/run_all_experiments.py [--scale paper] [--out FILE]
+    python -m repro.bench run --all [--jobs N] [--scale paper] [--out FILE]
 
-Runs all experiments of repro.bench.experiments at the chosen scale (600
-nodes by default; 1000-2500 with ``--scale paper``) and writes the rendered
-tables to the output file plus CSVs under benchmarks/results/.
+The historical flags keep working::
+
+    python scripts/run_all_experiments.py [--scale paper] [--out FILE] [--jobs N]
+
+and results still land under ``benchmarks/results/`` with the report next
+to the current working directory.  See ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-import time
 from pathlib import Path
 
 
@@ -22,54 +24,21 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=["bench", "paper"], default="bench")
     parser.add_argument("--out", default=None)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     args = parser.parse_args()
 
-    if args.scale == "paper":
-        os.environ["REPRO_SCALE"] = "paper"
-    # Import after the env var is set: default_node_count() reads it.
-    from repro.bench import experiments
-    from repro.bench.reporting import render_table, save_csv
+    from repro.bench.__main__ import main as bench_main
 
-    out_path = Path(args.out or f"experiment_report_{args.scale}.txt")
     results_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
-
-    jobs = [
-        ("fig10 (33%)", lambda: experiments.fig10_overall("33")),
-        ("fig10 (60%)", lambda: experiments.fig10_overall("60")),
-        ("fig11 (33%)", lambda: experiments.fig11_per_node("33")),
-        ("fig11 (60%)", lambda: experiments.fig11_per_node("60")),
-        ("fig12", experiments.fig12_ratio3),
-        ("fig13", experiments.fig13_ratio1),
-        ("fig14", experiments.fig14_network_size),
-        ("fig15", experiments.fig15_step_breakdown),
-        ("fig16", experiments.fig16_quadtree_influence),
-        ("compression", experiments.compression_table),
-        ("packet size", experiments.packet_size_study),
-        ("response time", experiments.response_time_study),
-        ("ablation", experiments.ablation_study),
-        ("placement", experiments.placement_study),
-        ("memory", experiments.memory_study),
-        ("generality", experiments.generality_study),
-        ("related work", experiments.related_work_study),
-        ("continuous", experiments.continuous_study),
-        ("variance", experiments.variance_study),
-        ("resolution", experiments.resolution_study),
-        ("bs position", experiments.bs_position_study),
+    argv = [
+        "run", "--all",
+        "--scale", args.scale,
+        "--jobs", str(args.jobs),
+        "--results-dir", str(results_dir),
     ]
-
-    lines = [f"# Experiment report ({args.scale} scale)\n"]
-    for label, job in jobs:
-        started = time.time()
-        print(f"[{label}] running...", flush=True)
-        series = job()
-        save_csv(series, results_dir)
-        elapsed = time.time() - started
-        print(f"[{label}] done in {elapsed:.1f}s", flush=True)
-        lines.append(render_table(series))
-        lines.append("")
-    out_path.write_text("\n".join(lines))
-    print(f"report written to {out_path}")
-    return 0
+    if args.out:
+        argv += ["--out", args.out]
+    return bench_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache for experiment results.
+
+The parallel harness (:mod:`repro.bench.harness`) decomposes every
+experiment into independent *cells*; this module decides whether a cell has
+already been computed.  A cell's cache key is the SHA-256 digest of
+
+* the cell's own parameters (function name + keyword arguments, in
+  canonical JSON), and
+* the :func:`code_fingerprint` — the package version, every public
+  constant of :mod:`repro.constants`, and a schema counter bumped whenever
+  the cached payload format changes.
+
+Two consequences, by design:
+
+* **Re-runs after unrelated edits are near-instant.**  Editing docs,
+  tests, or benchmark plumbing leaves the fingerprint unchanged, so a
+  warm cache answers every cell without running a single simulation.
+* **Changing the physics invalidates everything.**  Any edit to
+  :mod:`repro.constants` (packet size, radio range, ARQ budget, ...) or a
+  version bump changes every key.  Edits to protocol *code* that keep the
+  constants are **not** detected — bump ``repro.__version__`` (or pass
+  ``--no-cache`` / ``--clear-cache``) when simulation semantics change.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json``, written
+atomically (temp file + :func:`os.replace`) so concurrent workers can share
+one cache directory without locks: the worst case is the same cell computed
+twice, with one of the two identical payloads winning the rename.
+
+:func:`calibration_cache_dir` is the hook through which
+:mod:`repro.bench.workloads` joins in: when the harness enables caching it
+exports ``REPRO_BENCH_CACHE_DIR``, and the (expensive) threshold
+calibrations become cacheable cells of their own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "cache_key",
+    "calibration_cache_dir",
+    "code_fingerprint",
+]
+
+#: Environment variable through which the harness shares its cache
+#: directory with worker processes (and with the calibration layer).
+CACHE_DIR_ENV = "REPRO_BENCH_CACHE_DIR"
+
+#: Bump when the cached payload layout changes (invalidates every entry).
+CACHE_SCHEMA_VERSION = 1
+
+
+def code_fingerprint() -> str:
+    """Digest of the code-relevant constants and the package version.
+
+    Covers everything a cached result is allowed to depend on besides its
+    own parameters: ``repro.__version__``, the public (upper-case) values
+    of :mod:`repro.constants`, and :data:`CACHE_SCHEMA_VERSION`.
+    """
+    from .. import __version__, constants
+
+    payload = {
+        "version": __version__,
+        "schema": CACHE_SCHEMA_VERSION,
+        "constants": {
+            name: repr(getattr(constants, name))
+            for name in sorted(dir(constants))
+            if name.isupper()
+        },
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def cache_key(payload: Dict[str, Any], fingerprint: Optional[str] = None) -> str:
+    """Content address of one cell: parameters + code fingerprint.
+
+    ``payload`` must be JSON-serialisable with a canonical form (plain
+    dicts, lists, numbers, strings).  Passing a precomputed
+    ``fingerprint`` avoids re-hashing the constants for every cell.
+    """
+    body = {
+        "fingerprint": fingerprint or code_fingerprint(),
+        "payload": payload,
+    }
+    return hashlib.sha256(json.dumps(body, sort_keys=True).encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed JSON entries.
+
+    >>> cache = ResultCache(Path("benchmarks/results/.cache"))
+    >>> cache.put("ab12...", {"rows": [[1, 2]]})
+    >>> cache.get("ab12...")
+    {'rows': [[1, 2]]}
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (corrupt entries too)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp, path)
+        except BaseException:
+            if os.path.exists(temp):
+                os.unlink(temp)
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        if not self.root.exists():
+            return 0
+        count = sum(1 for _ in self.root.glob("*/*.json"))
+        shutil.rmtree(self.root)
+        return count
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __bool__(self) -> bool:
+        # An empty cache is still a cache: never let `if cache:` silently
+        # fall through to the no-cache path because len() happens to be 0.
+        return True
+
+
+def calibration_cache_dir() -> Optional[Path]:
+    """The shared cache directory, if the harness enabled one.
+
+    Read by :func:`repro.bench.workloads._cached_calibration` so threshold
+    calibrations are cached on disk (and shared across worker processes)
+    whenever a harness run has caching on.
+    """
+    value = os.environ.get(CACHE_DIR_ENV)
+    return Path(value) if value else None

@@ -7,6 +7,13 @@ whose rows mirror the corresponding figure's data series.  The benchmark
 suite (``benchmarks/``) wraps these functions with pytest-benchmark timers
 and prints the rendered tables; EXPERIMENTS.md records paper-vs-measured.
 
+Each function is written so every sweep iteration is independent of the
+others: :mod:`repro.bench.harness` re-invokes the same function once per
+sweep point (a *cell*) and concatenates the single-point series, which must
+reproduce the serial output byte for byte.  Keep it that way — no state may
+leak from one loop iteration into the next, and summary notes must be
+recomputable from the emitted rows alone.
+
 Scale note: absolute packet counts depend on the network size (default 600
 nodes, ``REPRO_SCALE=paper`` for 1500) — the comparisons are ratios and
 orderings, which is what the reproduction targets.
@@ -176,16 +183,16 @@ def fig11_per_node(
             continue
         ext_mean = sum(ext_loads.get(n, 0) for n in members) / len(members)
         sens_mean = sum(sens_loads.get(n, 0) for n in members) / len(members)
-        reduction = ext_mean / sens_mean if sens_mean else float("inf")
+        reduction = round(ext_mean / sens_mean, 1) if sens_mean else "inf"
         series.add_row(
             f"[{lo},{hi})", len(members), round(ext_mean, 2), round(sens_mean, 2),
-            round(reduction, 1),
+            reduction,
         )
     ext_max = max(ext_loads.get(n, 0) for n in sensor_ids)
     sens_max = max(sens_loads.get(n, 0) for n in sensor_ids)
     series.add_row(
         "most-loaded", 1, ext_max, sens_max,
-        round(ext_max / sens_max, 1) if sens_max else float("inf"),
+        round(ext_max / sens_max, 1) if sens_max else "inf",
     )
     series.notes.append(
         f"most-loaded node relieved {ext_max}/{sens_max} = "
@@ -233,14 +240,16 @@ def fig12_ratio3(
     fraction: float = constants.PAPER_RESULT_FRACTION,
     node_count: Optional[int] = None,
     seed: int = 0,
+    totals: Sequence[int] = (5, 4, 3),
 ) -> ExperimentSeries:
     """Three join attributes; attributes overall swept 5 -> 3 (Fig. 12).
 
     Savings grow as the ratio falls; even at the 100 % ratio SENS-Join still
-    saves transmissions thanks to the quadtree representation.
+    saves transmissions thanks to the quadtree representation.  ``totals``
+    is the sweep axis (one value per row; exposed for the cell harness).
     """
     return _ratio_sweep(
-        "fig12", "3 join attributes / x attributes overall", 3, (5, 4, 3),
+        "fig12", "3 join attributes / x attributes overall", 3, tuple(totals),
         fraction, node_count, seed,
     )
 
@@ -249,10 +258,11 @@ def fig13_ratio1(
     fraction: float = constants.PAPER_RESULT_FRACTION,
     node_count: Optional[int] = None,
     seed: int = 0,
+    totals: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> ExperimentSeries:
     """One join attribute; attributes overall swept 1 -> 5 (Fig. 13)."""
     return _ratio_sweep(
-        "fig13", "1 join attribute / x attributes overall", 1, (1, 2, 3, 4, 5),
+        "fig13", "1 join attribute / x attributes overall", 1, tuple(totals),
         fraction, node_count, seed,
     )
 
@@ -913,7 +923,8 @@ def variance_study(
     The paper reports single simulation runs; this study repeats the
     default-setting comparison over several deployment/data seeds and
     reports the spread — the savings must not be an artefact of one
-    topology.
+    topology.  The mean/spread note is computed from the *rounded* per-row
+    savings so the parallel harness can recompute it from rows alone.
     """
     join_attrs, total_attrs = _ratio_counts(ratio)
     series = ExperimentSeries(
@@ -927,7 +938,7 @@ def variance_study(
         query = calibrated_query(scenario, join_attrs, total_attrs, fraction)
         external, sens = _run_pair(scenario, query)
         savings = 100.0 * (1.0 - sens.total_transmissions / external.total_transmissions)
-        savings_values.append(savings)
+        savings_values.append(round(savings, 1))
         reduction = external.max_node_transmissions() / max(sens.max_node_transmissions(), 1)
         series.add_row(
             seed,
@@ -936,12 +947,24 @@ def variance_study(
             round(savings, 1),
             round(reduction, 1),
         )
+    series.notes.append(variance_summary_note(savings_values))
+    return series
+
+
+def variance_summary_note(savings_values: Sequence[float]) -> str:
+    """The mean/spread note of :func:`variance_study`.
+
+    Shared with :mod:`repro.bench.harness`, which must regenerate the note
+    from concatenated per-seed rows when the study runs as parallel cells.
+    """
     mean = sum(savings_values) / len(savings_values)
     spread = (
         sum((value - mean) ** 2 for value in savings_values) / len(savings_values)
     ) ** 0.5
-    series.notes.append(f"savings mean {mean:.1f}% +- {spread:.1f}% over {len(seeds)} seeds")
-    return series
+    return (
+        f"savings mean {mean:.1f}% +- {spread:.1f}% over "
+        f"{len(savings_values)} seeds"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,7 @@ from ..routing.ctp import build_tree
 from ..routing.tree import RoutingTree
 from ..sim.network import DeploymentConfig, Network, deploy_uniform
 from ..sim.radio import PacketFormat
+from .cache import ResultCache, cache_key, calibration_cache_dir
 from .calibrate import calibrate_threshold
 
 __all__ = [
@@ -204,6 +205,30 @@ def _cached_calibration(
     total_attr_count: int,
     fraction_milli: int,
 ) -> float:
+    """One calibrated threshold, memoised in-process and (optionally) on disk.
+
+    When a harness run enables its result cache
+    (:func:`repro.bench.cache.calibration_cache_dir` is set), calibrations
+    become content-addressed cells of their own: worker processes share one
+    directory, so each unique (deployment, template, fraction) threshold is
+    bisected once per cache lifetime rather than once per process.
+    """
+    params = {
+        "kind": "calibration",
+        "node_count": node_count,
+        "seed": seed,
+        "packet_bytes": packet_bytes,
+        "join_attr_count": join_attr_count,
+        "total_attr_count": total_attr_count,
+        "fraction_milli": fraction_milli,
+    }
+    cache_dir = calibration_cache_dir()
+    disk = ResultCache(cache_dir) if cache_dir is not None else None
+    key = cache_key(params) if disk is not None else None
+    if disk is not None:
+        entry = disk.get(key)
+        if entry is not None:
+            return float(entry["threshold"])
     scenario = build_scenario(node_count, seed, packet_bytes)
     builder = ratio_query_builder(join_attr_count, total_attr_count)
     lo, hi, increasing = _bracket_for(join_attr_count, scenario.world)
@@ -215,6 +240,8 @@ def _cached_calibration(
         hi,
         increasing=increasing,
     )
+    if disk is not None:
+        disk.put(key, {"params": params, "threshold": threshold})
     return threshold
 
 

@@ -72,6 +72,42 @@ def test_paper_mapping_references_real_paths():
         assert path.exists(), relative
 
 
+def test_relative_markdown_links_resolve():
+    """Every relative link in docs/*.md + the top-level docs points at a file.
+
+    Reuses the checker CI runs (``scripts/check_doc_links.py``) so the test
+    and the workflow cannot disagree about what counts as broken.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "scripts" / "check_doc_links.py"
+    )
+    checker = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(checker)
+
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [REPO_ROOT / name for name in checker.DEFAULT_FILES]
+    assert files, "docs/*.md must exist"
+    broken = {
+        str(path.relative_to(REPO_ROOT)): checker.broken_links(path)
+        for path in files
+    }
+    assert all(not links for links in broken.values()), broken
+
+
+def test_benchmarking_doc_references_real_names():
+    doc = (REPO_ROOT / "docs" / "benchmarking.md").read_text()
+    from repro.bench import harness
+
+    # The experiment->figure table must cover the whole registry.
+    for name in harness.experiment_specs(60):
+        assert f"`{name}`" in doc, name
+    for keyword in ("cache key", "--jobs", "--no-cache", "run_manifest.json",
+                    "byte-identical"):
+        assert keyword in doc, keyword
+
+
 def test_wire_format_spec_exists_and_mentions_key_fields():
     spec = (REPO_ROOT / "docs" / "wire_format.md").read_text()
     for keyword in ("presence mask", "Z-number", "relation_flags",

@@ -66,6 +66,7 @@ __all__ = [
     "resolution_study",
     "bs_position_study",
     "loss_study",
+    "failure_study",
 ]
 
 #: The paper's two default join-attribute ratios (§VI "Default setting").
@@ -1168,4 +1169,125 @@ def bs_position_study(
             sens.total_transmissions, round(savings, 1),
         )
     series.notes.append("SENS-Join wins for every placement; deeper trees save more")
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Robustness — in-flight faults, recovery and completeness (§IV-F)
+# ---------------------------------------------------------------------------
+
+
+def failure_study(
+    crash_fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    fraction: float = constants.PAPER_RESULT_FRACTION,
+    node_count: Optional[int] = None,
+    seed: int = 0,
+    max_retries: int = 6,
+) -> ExperimentSeries:
+    """Mid-query node crashes: detection, repair, cost and completeness.
+
+    For each crash fraction a deterministic :class:`FaultPlan` kills that
+    share of the nodes at random times during the first execution.  Three
+    recovery models are compared on total cost (including every aborted
+    attempt), retries and recall against the pre-failure oracle:
+
+    * ``sens-join[des]`` — the in-flight §IV-F loop: the DES engine detects
+      the stall at the base station, repairs the tree mid-query, backs off
+      and re-executes on the same kernel timeline;
+    * ``sens-join`` / ``external-join`` — the abstract model of
+      :func:`~repro.joins.runner.run_with_failures`: the whole batch of
+      crashes voids the first attempt (charged in full), then the repaired
+      tree re-executes.
+
+    Faults mutate the topology, so every row runs on a *fresh* deployment
+    (the shared cached scenario is used read-only, for calibration).
+    """
+    from ..data.relations import SensorWorld
+    from ..joins.base import ExecutionContext, oracle_result
+    from ..joins.des_sensjoin import DesSensJoin, RecoveryPolicy
+    from ..joins.runner import NetworkFailure, run_snapshot, run_with_failures
+    from ..routing.ctp import build_tree
+    from ..sim.faults import random_crash_plan
+
+    if node_count is None:
+        node_count = min(default_node_count(), 300)
+    scenario = build_scenario(node_count, seed)
+    query = calibrated_query(scenario, *RATIO_SETTINGS["33"], fraction)
+    config = scenario.config
+
+    def fresh_deployment():
+        from ..sim.network import deploy_uniform
+
+        network = deploy_uniform(config)
+        world = SensorWorld.homogeneous(
+            network, seed=seed, area_side_m=config.area_side_m
+        )
+        tree = build_tree(network, seed=seed)
+        return network, world, tree
+
+    series = ExperimentSeries(
+        experiment="failure",
+        title="Mid-query node crashes: repair cost and completeness (§IV-F)",
+        columns=[
+            "crash_fraction", "algorithm", "total_tx", "retries",
+            "recall", "aborted_tx", "aborted_energy",
+        ],
+    )
+    for crash_fraction in crash_fractions:
+        network, world, tree = fresh_deployment()
+        crash_count = int(round(crash_fraction * len(network.sensor_node_ids)))
+        # Crash times are spread over the first execution's collection
+        # phase, whose simulated span scales with the tree depth — so the
+        # faults genuinely strike mid-query.
+        horizon_s = tree.height * constants.DEFAULT_HOP_LATENCY_S
+        plan = random_crash_plan(
+            network.sensor_node_ids, crash_count, horizon_s=horizon_s, seed=seed
+        )
+        engine = DesSensJoin(
+            fault_plan=plan,
+            recovery=RecoveryPolicy(max_retries=max_retries),
+            repair_seed=seed,
+        )
+        outcome = run_snapshot(
+            network, world, query, engine, tree=tree, tree_seed=seed
+        )
+        series.add_row(
+            crash_fraction,
+            outcome.algorithm,
+            outcome.total_transmissions,
+            int(outcome.details.get("retries", 0)),
+            round(outcome.details.get("recall", 1.0), 3),
+            int(outcome.details.get("aborted_tx_packets", 0)),
+            round(outcome.details.get("aborted_energy", 0.0), 1),
+        )
+        victims = plan.crashed_nodes
+        for algorithm in ("sens-join", "external-join"):
+            network, world, tree = fresh_deployment()
+            world.take_snapshot(0.0)
+            oracle = oracle_result(
+                ExecutionContext(network=network, tree=tree, world=world, query=query)
+            )
+            failures = [NetworkFailure("node", victim) for victim in victims]
+            outcome = run_with_failures(
+                network, world, query, algorithm,
+                failures=failures, max_retries=max_retries, tree_seed=seed,
+            )
+            recall = (
+                outcome.result.match_count / oracle.match_count
+                if oracle.match_count
+                else 1.0
+            )
+            series.add_row(
+                crash_fraction,
+                outcome.algorithm,
+                outcome.total_transmissions,
+                int(outcome.details.get("retries", 0)),
+                round(recall, 3),
+                int(outcome.details.get("aborted_tx_packets", 0)),
+                round(outcome.details.get("aborted_energy", 0.0), 1),
+            )
+    series.notes.append(
+        "aborted_tx/aborted_energy = cost of attempts that delivered "
+        "nothing; recall is measured against the pre-failure oracle"
+    )
     return series

@@ -373,6 +373,15 @@ def experiment_specs(node_count: Optional[int] = None) -> Dict[str, ExperimentSp
         ],
         assemble=_assemble_loss,
     )
+    add(
+        "failure",
+        "mid-query crashes: repair cost and completeness (§IV-F)",
+        "failure_study",
+        [
+            {"crash_fractions": [f], "node_count": min(n, 300), "seed": 0}
+            for f in (0.0, 0.02, 0.05, 0.1)
+        ],
+    )
     return specs
 
 

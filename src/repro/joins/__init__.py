@@ -8,8 +8,9 @@ from .base import (
     JoinOutcome,
     TupleFormat,
     node_tuple,
+    oracle_result,
 )
-from .des_sensjoin import DesSensJoin
+from .des_sensjoin import DesSensJoin, RecoveryPolicy
 from .external import ExternalJoin
 from .filterbuild import build_join_filter
 from .incremental import IncrementalSensJoin
@@ -47,6 +48,7 @@ __all__ = [
     "PHASE_COLLECTION",
     "PHASE_FILTER",
     "PHASE_FINAL",
+    "RecoveryPolicy",
     "SemiJoinBroadcast",
     "SensJoin",
     "SensJoinConfig",
@@ -57,6 +59,7 @@ __all__ = [
     "estimate_costs",
     "make_algorithm",
     "node_tuple",
+    "oracle_result",
     "recommend_algorithm",
     "run_continuous",
     "run_snapshot",

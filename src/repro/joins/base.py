@@ -25,7 +25,7 @@ from ..codec.quadtree import FlaggedPoint, QuadtreeCodec
 from ..codec.quantize import Quantizer
 from ..data.relations import SensorWorld
 from ..errors import ProtocolError, QueryError
-from ..query.evaluate import JoinResult
+from ..query.evaluate import JoinResult, Row, evaluate_join
 from ..query.query import JoinQuery
 from ..routing.tree import RoutingTree
 from ..sim.network import Network
@@ -38,6 +38,7 @@ __all__ = [
     "JoinOutcome",
     "JoinAlgorithm",
     "node_tuple",
+    "oracle_result",
 ]
 
 
@@ -145,6 +146,24 @@ def node_tuple(
             f"node {node_id} lacks reading {missing}; was a snapshot taken?"
         ) from None
     return FullTupleRecord(node_id, flags, values), flags
+
+
+def oracle_result(context: "ExecutionContext") -> JoinResult:
+    """The lossless join result over every currently alive sensor node.
+
+    Computed centrally, bypassing the network entirely — the reference the
+    §IV-F completeness accounting measures recall against.  Call it *before*
+    injecting faults: it reflects the node population at call time.
+    """
+    fmt = context.tuple_format()
+    tuples: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
+    for node_id in context.network.sensor_node_ids:
+        record, _flags = node_tuple(fmt, node_id)
+        if record is None:
+            continue
+        for alias in fmt.aliases_of_flags(record.flags):
+            tuples[alias].append(Row(record.node_id, dict(record.values)))
+    return evaluate_join(context.query, tuples, apply_selections=False)
 
 
 @dataclass(frozen=True)

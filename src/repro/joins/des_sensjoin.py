@@ -15,6 +15,28 @@ per-phase transmission counts, per-node loads, and join results as the fast
 path — a strong check that the synchronous traversals faithfully implement
 the distributed protocol.  (The DES engine supports the paper's defaults
 only: quadtree representation; Treecut and Selective Filter Forwarding on.)
+
+Fault injection and recovery (§IV-F)
+------------------------------------
+Constructed with a :class:`~repro.sim.faults.FaultPlan`, the engine
+additionally exercises the paper's error-tolerance loop *in-flight*: a
+:class:`~repro.sim.faults.FaultInjector` applies node crashes, link drops
+and loss bursts at simulated times on the shared kernel.  A send over a
+dead link spends its ARQ budget and delivers nothing, so the message never
+arrives, the waiting ancestors starve, and the protocol stalls.  The base
+station detects the stall (the simulation goes quiet, backstopped by a
+per-phase wall-clock budget), emits a ``phase-timeout`` trace event,
+interrupts the surviving processes, lets CTP repair the tree
+(``tree-repair``), waits out a backoff, and re-executes the query on the
+same kernel timeline — so every aborted attempt's partially spent
+transmissions and energy stay charged to the ledgers.  After
+``max_retries`` failed repairs the :class:`RecoveryPolicy` either raises
+:class:`~repro.errors.ExecutionAborted` or returns the partial result
+flagged with ``details["partial"]`` (graceful degradation).
+
+Completeness is reported against the lossless oracle computed centrally
+before the first fault: ``details["recall"]``, the delivered base-station
+subtrees, and full tuples lost because their Treecut proxy died.
 """
 
 from __future__ import annotations
@@ -25,20 +47,72 @@ from typing import Dict, FrozenSet, List, Optional
 from .. import constants
 from ..codec.quadtree import FlaggedPoint
 from ..codec.setops import intersect_points, union_points
-from ..query.evaluate import Row, evaluate_join
-from ..sim.kernel import Environment, Event
+from ..errors import ExecutionAborted
+from ..query.evaluate import JoinResult, Row, evaluate_join
+from ..routing.ctp import repair_tree
+from ..routing.tree import RoutingTree
+from ..sim.faults import FaultInjector, FaultPlan
+from ..sim.kernel import Environment, Event, Process
+from ..sim.network import Network
 from ..sim.node import BASE_STATION_ID
+from ..sim.trace import PHASE_TIMEOUT, TREE_REPAIR, NullTracer, Tracer
 from .base import (
     ExecutionContext,
     FullTupleRecord,
     JoinAlgorithm,
     JoinOutcome,
+    TupleFormat,
     node_tuple,
+    oracle_result,
 )
 from .filterbuild import build_join_filter
 from .sensjoin import PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL
 
-__all__ = ["DesSensJoin"]
+__all__ = ["DesSensJoin", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Timeout/retry semantics of the §IV-F recovery loop.
+
+    ``phase_timeout_s`` is the base station's per-phase wall-clock budget
+    (the watchdog backstop; the primary stall signal is the simulation
+    going quiet).  ``None`` derives a generous budget from the tree size.
+    After an abort the re-execution starts ``backoff_s`` later, doubling
+    per retry by ``backoff_factor`` — CTP needs time to re-converge, and
+    immediate retries under a loss burst would just burn energy.
+
+    ``on_exhaustion`` decides what happens once ``max_retries`` repairs
+    were not enough: ``"raise"`` aborts with
+    :class:`~repro.errors.ExecutionAborted`; ``"partial"`` (the default)
+    returns whatever reached the base station, flagged with
+    ``details["partial"] = 1.0`` — graceful degradation as a policy.
+    """
+
+    max_retries: int = 3
+    phase_timeout_s: Optional[float] = None
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    on_exhaustion: str = "partial"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"negative retry bound: {self.max_retries}")
+        if self.phase_timeout_s is not None and self.phase_timeout_s <= 0:
+            raise ValueError(
+                f"phase_timeout_s must be positive, got {self.phase_timeout_s}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"negative backoff: {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.on_exhaustion not in ("partial", "raise"):
+            raise ValueError(
+                f"on_exhaustion must be 'partial' or 'raise', "
+                f"got {self.on_exhaustion!r}"
+            )
 
 
 @dataclass
@@ -57,18 +131,283 @@ class _Mailbox:
     final_bytes: int = 0
 
 
+@dataclass
+class _AttemptState:
+    """Everything one protocol execution attempt allocates on the kernel."""
+
+    mailboxes: Dict[int, _Mailbox]
+    done_1a: Dict[int, Event]
+    filter_ready: Dict[int, Event]
+    done_final: Dict[int, Event]
+    exited: Dict[int, bool]
+    proxy_records: Dict[int, List[FullTupleRecord]]
+    procs: Dict[int, Process]
+    details: Dict[str, float]
+
+
 class DesSensJoin(JoinAlgorithm):
-    """Event-driven reference implementation (paper defaults only)."""
+    """Event-driven reference implementation (paper defaults only).
+
+    Without a ``fault_plan`` (or with an empty one) the engine runs the
+    plain protocol and is byte-for-byte equivalent to previous behaviour.
+    With a plan it runs the full §IV-F loop described in the module
+    docstring; ``recovery`` tunes the timeout/retry semantics and
+    ``repair_seed`` the tie-breaking of repaired trees.
+    """
 
     name = "sens-join[des]"
+
+    def __init__(
+        self,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        repair_seed: int = 0,
+    ):
+        self.fault_plan = fault_plan
+        self.recovery = recovery
+        self.tracer = tracer
+        self.repair_seed = repair_seed
 
     def execute(self, context: ExecutionContext) -> JoinOutcome:
         """Run the protocol as kernel processes; see the module docstring."""
         network, tree = context.network, context.tree
         fmt = context.tuple_format()
-        channel = network.channel
         env = Environment()
+        if self.fault_plan is None or not self.fault_plan:
+            state = self._spawn_attempt(env, network, tree, fmt)
+            env.run(until=state.done_final[BASE_STATION_ID])
+            return JoinOutcome(
+                algorithm=self.name,
+                result=self._evaluate(context, fmt, state),
+                stats=network.stats,
+                response_time_s=(
+                    3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S + env.now
+                ),
+                details=dict(state.details),
+            )
+        return self._execute_with_faults(context, env, fmt)
 
+    # -- §IV-F recovery loop -------------------------------------------------
+
+    def _execute_with_faults(
+        self, context: ExecutionContext, env: Environment, fmt: TupleFormat
+    ) -> JoinOutcome:
+        network, tree = context.network, context.tree
+        channel = network.channel
+        tracer = self.tracer if self.tracer is not None else NullTracer()
+        policy = self.recovery or RecoveryPolicy()
+
+        # The completeness reference, taken before the first fault strikes.
+        oracle = oracle_result(context)
+
+        # The injector outlives attempts; it must always interrupt the
+        # *current* attempt's process for a crashed node.
+        live: Dict[str, _AttemptState] = {}
+
+        def kill_process(node_id: int) -> None:
+            state = live.get("state")
+            if state is None:
+                return
+            proc = state.procs.get(node_id)
+            if proc is not None and proc.is_alive:
+                proc.interrupt("node-crash")
+
+        injector = FaultInjector(
+            env, network, self.fault_plan, tracer=tracer, on_node_crash=kill_process
+        )
+        injector.start()
+
+        aborted_attempts = 0
+        aborted_tx = 0
+        aborted_energy = 0.0
+        repairs = 0
+        orphaned = 0
+        tx_mark = network.stats.total_tx_packets()
+        energy_mark = network.total_energy()
+        backoff = policy.backoff_s
+        completed = False
+        state: Optional[_AttemptState] = None
+
+        saved_tracer = channel.tracer
+        channel.tracer = tracer
+        try:
+            for attempt in range(policy.max_retries + 1):
+                state = self._spawn_attempt(env, network, tree, fmt)
+                live["state"] = state
+                completed = self._monitor_attempt(
+                    env, network, tree, state, policy, tracer, attempt
+                )
+                if completed:
+                    break
+                self._abort_attempt(env, state)
+                aborted_attempts += 1
+                now_tx = network.stats.total_tx_packets()
+                now_energy = network.total_energy()
+                aborted_tx += now_tx - tx_mark
+                aborted_energy += now_energy - energy_mark
+                tx_mark, energy_mark = now_tx, now_energy
+                if attempt == policy.max_retries:
+                    break
+                report = repair_tree(network, tree, seed=self.repair_seed)
+                tree = report.tree
+                repairs += 1
+                orphaned = len(report.orphaned)
+                tracer.emit(
+                    env.now, BASE_STATION_ID, TREE_REPAIR,
+                    attempt=attempt,
+                    reparented=len(report.reparented),
+                    orphaned=len(report.orphaned),
+                )
+                if backoff > 0:
+                    env.run(until=env.now + backoff)
+                backoff *= policy.backoff_factor
+        finally:
+            channel.tracer = saved_tracer
+
+        if not completed and policy.on_exhaustion == "raise":
+            raise ExecutionAborted(
+                f"query did not complete within {policy.max_retries} "
+                f"retries under the injected fault plan"
+            )
+
+        assert state is not None
+        result = self._evaluate(context, fmt, state)
+        details = dict(state.details)
+        details["retries"] = float(aborted_attempts)
+        details["repairs"] = float(repairs)
+        details["orphaned_nodes"] = float(orphaned)
+        details["partial"] = 0.0 if completed else 1.0
+        details["aborted_tx_packets"] = float(aborted_tx)
+        details["aborted_energy"] = aborted_energy
+        details["faults_applied"] = float(len(injector.applied))
+        details["recall"] = (
+            result.match_count / oracle.match_count if oracle.match_count else 1.0
+        )
+        children = tree.children(BASE_STATION_ID)
+        delivered = sum(
+            1
+            for child in children
+            if state.exited.get(child) or state.done_final[child].processed
+        )
+        details["subtrees_total"] = float(len(children))
+        details["subtrees_delivered"] = float(delivered)
+        # Full tuples that exited with a Treecut and were buffered at a proxy
+        # that died before forwarding them: lost without any trace on the
+        # wire — exactly the completeness gap §IV-F's re-execution papers
+        # over, made visible here.
+        details["lost_proxy_tuples"] = float(
+            sum(
+                len(records)
+                for node_id, records in state.proxy_records.items()
+                if not network.nodes[node_id].alive
+            )
+        )
+        return JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            stats=network.stats,
+            response_time_s=(
+                3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S + env.now
+            ),
+            details=details,
+        )
+
+    def _monitor_attempt(
+        self,
+        env: Environment,
+        network: Network,
+        tree: RoutingTree,
+        state: _AttemptState,
+        policy: RecoveryPolicy,
+        tracer: Tracer,
+        attempt: int,
+    ) -> bool:
+        """Drive one attempt with the base station's per-phase watchdog.
+
+        Returns True when the final result arrived; False on a stall, with
+        a ``phase-timeout`` trace event naming the starved phase.
+        """
+        budget = (
+            policy.phase_timeout_s
+            if policy.phase_timeout_s is not None
+            else self._phase_budget(tree)
+        )
+        children = tree.children(BASE_STATION_ID)
+        collection = env.all_of([state.done_1a[child] for child in children])
+        if not env.run_until(collection, env.now + budget):
+            waiting = sum(
+                1 for child in children if not state.done_1a[child].processed
+            )
+            tracer.emit(
+                env.now, BASE_STATION_ID, PHASE_TIMEOUT,
+                phase=PHASE_COLLECTION, attempt=attempt, waiting=waiting,
+            )
+            return False
+        # Filter dissemination and final collection ride on one watchdog:
+        # the base process drives 1b itself and then awaits phase 2.
+        if not env.run_until(state.done_final[BASE_STATION_ID], env.now + 2 * budget):
+            stalled_filter = any(
+                not state.filter_ready[node_id].processed
+                for node_id in tree.node_ids
+                if node_id != BASE_STATION_ID
+                and not state.exited.get(node_id)
+                and network.nodes[node_id].alive
+            )
+            tracer.emit(
+                env.now, BASE_STATION_ID, PHASE_TIMEOUT,
+                phase=PHASE_FILTER if stalled_filter else PHASE_FINAL,
+                attempt=attempt,
+            )
+            return False
+        return True
+
+    @staticmethod
+    def _phase_budget(tree: RoutingTree) -> float:
+        """Wall-clock backstop per phase; stalls are usually caught earlier
+        (the event queue drains the moment nothing can make progress)."""
+        return (
+            max(10.0, 0.1 * len(tree.node_ids))
+            + 3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S
+        )
+
+    @staticmethod
+    def _abort_attempt(env: Environment, state: _AttemptState) -> None:
+        """Interrupt every surviving process of a stalled attempt."""
+        for proc in state.procs.values():
+            if proc.is_alive:
+                proc.interrupt("attempt-aborted")
+        # Deliver the interrupts at the current instant so no process of
+        # this attempt can act during the backoff or the next attempt.
+        env.run(until=env.now)
+
+    # -- one protocol attempt ------------------------------------------------
+
+    def _evaluate(
+        self, context: ExecutionContext, fmt: TupleFormat, state: _AttemptState
+    ) -> JoinResult:
+        mailbox = state.mailboxes[BASE_STATION_ID]
+        arrived = list(mailbox.final_tuples) + list(mailbox.full_tuples)
+        tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
+        for record in arrived:
+            for alias in fmt.aliases_of_flags(record.flags):
+                tuples_by_alias[alias].append(Row(record.node_id, dict(record.values)))
+        return evaluate_join(context.query, tuples_by_alias, apply_selections=False)
+
+    def _spawn_attempt(
+        self,
+        env: Environment,
+        network: Network,
+        tree: RoutingTree,
+        fmt: TupleFormat,
+    ) -> _AttemptState:
+        """Allocate fresh mailboxes/events and register the node processes.
+
+        Only alive nodes get a process; a node that died earlier never
+        signals, and its ancestors starve — which is precisely the stall
+        the base-station watchdog exists to catch.
+        """
+        channel = network.channel
         mailboxes: Dict[int, _Mailbox] = {n: _Mailbox() for n in tree.node_ids}
         # Events: fired when a node has finished a phase.
         done_1a: Dict[int, Event] = {n: env.event() for n in tree.node_ids}
@@ -108,6 +447,10 @@ class DesSensJoin(JoinAlgorithm):
                 payload = fmt.full_tuples_bytes(len(records))
                 yield env.timeout(channel.latency_for(payload))
                 channel.unicast(node_id, parent, payload, PHASE_COLLECTION)
+                if not channel.last_send_delivered:
+                    # The handover died with the link; the parent will
+                    # starve and the base station's watchdog takes over.
+                    return
                 target = mailboxes[parent]
                 target.full_tuples.extend(records)
                 target.full_bytes += payload
@@ -134,6 +477,8 @@ class DesSensJoin(JoinAlgorithm):
             payload = fmt.encoded_points_bytes(points)
             yield env.timeout(channel.latency_for(payload))
             channel.unicast(node_id, parent, payload, PHASE_COLLECTION)
+            if not channel.last_send_delivered:
+                return
             target = mailboxes[parent]
             target.points = union_points(target.points, points)
             target.joinatt_children += 1
@@ -143,6 +488,7 @@ class DesSensJoin(JoinAlgorithm):
             yield filter_ready[node_id]
             incoming = mailbox.filter_points or frozenset()
             awake = [child for child in children if not exited[child]]
+            reached = list(awake)
             if incoming and awake:
                 stored = subtree_atts[node_id]
                 pruned = intersect_points(incoming, stored) if stored is not None else incoming
@@ -150,9 +496,12 @@ class DesSensJoin(JoinAlgorithm):
                     payload = fmt.encoded_points_bytes(pruned)
                     yield env.timeout(channel.latency_for(payload))
                     channel.broadcast(node_id, awake, payload, PHASE_FILTER)
-                    for child in awake:
+                    reached = list(channel.last_broadcast_reached)
+                    for child in reached:
                         mailboxes[child].filter_points = pruned
-            for child in awake:
+            # Children the broadcast could not reach never wake up for the
+            # later phases — their subtree starves (watchdog territory).
+            for child in reached:
                 filter_ready[child].succeed()
 
             # ---- phase 2: collect matching complete tuples ----
@@ -177,6 +526,8 @@ class DesSensJoin(JoinAlgorithm):
             payload += fmt.full_tuples_bytes(len(matched))
             yield env.timeout(channel.latency_for(payload))
             channel.unicast(node_id, parent, payload, PHASE_FINAL)
+            if not channel.last_send_delivered:
+                return
             target = mailboxes[parent]
             target.final_tuples.extend(records_out)
             target.final_bytes += payload
@@ -198,39 +549,33 @@ class DesSensJoin(JoinAlgorithm):
             awake = [child for child in children if not exited[child]]
             subtree = mailbox.points
             pruned = intersect_points(join_filter, subtree)
+            reached = list(awake)
             if pruned and awake:
                 payload = fmt.encoded_points_bytes(pruned)
                 yield env.timeout(channel.latency_for(payload))
                 channel.broadcast(BASE_STATION_ID, awake, payload, PHASE_FILTER)
-                for child in awake:
+                reached = list(channel.last_broadcast_reached)
+                for child in reached:
                     mailboxes[child].filter_points = pruned
-            for child in awake:
+            for child in reached:
                 filter_ready[child].succeed()
             if awake:
                 yield env.all_of([done_final[child] for child in awake])
             done_final[BASE_STATION_ID].succeed()
 
+        procs: Dict[int, Process] = {}
         for node_id in tree.node_ids:
             if node_id == BASE_STATION_ID:
-                env.process(base_station_process())
-            else:
-                env.process(sensor_process(node_id))
-        env.run(until=done_final[BASE_STATION_ID])
-
-        mailbox = mailboxes[BASE_STATION_ID]
-        arrived = list(mailbox.final_tuples) + list(mailbox.full_tuples)
-        tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
-        for record in arrived:
-            for alias in fmt.aliases_of_flags(record.flags):
-                tuples_by_alias[alias].append(Row(record.node_id, dict(record.values)))
-        result = evaluate_join(context.query, tuples_by_alias, apply_selections=False)
-
-        return JoinOutcome(
-            algorithm=self.name,
-            result=result,
-            stats=network.stats,
-            response_time_s=(
-                3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S + env.now
-            ),
+                procs[node_id] = env.process(base_station_process())
+            elif network.nodes[node_id].alive:
+                procs[node_id] = env.process(sensor_process(node_id))
+        return _AttemptState(
+            mailboxes=mailboxes,
+            done_1a=done_1a,
+            filter_ready=filter_ready,
+            done_final=done_final,
+            exited=exited,
+            proxy_records=proxy_records,
+            procs=procs,
             details=details,
         )

@@ -73,16 +73,21 @@ def run_snapshot(
     snapshot_time: float = 0.0,
     disseminate_query: bool = False,
     tree_seed: int = 0,
+    reset_accounting: bool = True,
 ) -> JoinOutcome:
     """Execute one snapshot ("ONCE") query and return the outcome.
 
-    Accounting starts fresh: the network's energy ledgers and statistics are
-    reset, so the outcome reflects exactly one execution.
+    Accounting starts fresh by default: the network's energy ledgers and
+    statistics are reset, so the outcome reflects exactly one execution.
+    ``reset_accounting=False`` lets multi-attempt drivers
+    (:func:`run_with_failures`) accumulate the cost of aborted attempts
+    into the final outcome's ledgers.
     """
     algo = make_algorithm(algorithm)
     if tree is None:
         tree = build_tree(network, seed=tree_seed)
-    network.reset_accounting()
+    if reset_accounting:
+        network.reset_accounting()
     if disseminate_query:
         flood_query(network, len(query.sql().encode()))
     world.take_snapshot(snapshot_time)
@@ -138,14 +143,24 @@ class NetworkFailure:
     node_b: int = -1
     attempt: int = 0
 
+    def __post_init__(self) -> None:
+        if self.kind not in ("node", "link"):
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; known: node, link"
+            )
+        if self.kind == "link" and self.node_b < 0:
+            raise ValueError(
+                "kind='link' needs an explicit node_b (got the default -1)"
+            )
+        if self.attempt < 0:
+            raise ValueError(f"negative attempt index: {self.attempt}")
+
     def apply(self, network: Network) -> None:
         """Mutate the network topology."""
         if self.kind == "node":
             network.fail_node(self.node_a)
-        elif self.kind == "link":
-            network.fail_link(self.node_a, self.node_b)
         else:
-            raise ValueError(f"unknown failure kind {self.kind!r}")
+            network.fail_link(self.node_a, self.node_b)
 
 
 def run_with_failures(
@@ -163,14 +178,35 @@ def run_with_failures(
     scheduled failure; its ``details["retries"]`` records how many attempts
     were aborted.  Raises :class:`~repro.errors.ExecutionAborted` if failures
     outlast ``max_retries``.
+
+    Aborted attempts are not free: each one executes and spends its full
+    transmission/energy budget before the failure voids it (a conservative
+    model — the abort is only detected at the base station, after the
+    protocol has run its course).  That cost stays in the network's ledgers
+    and statistics, which accumulate across attempts into the returned
+    outcome; ``details["aborted_tx_packets"]`` / ``details["aborted_energy"]``
+    break out the share spent on attempts that delivered nothing.
     """
+    algo = make_algorithm(algorithm)
     tree = build_tree(network, seed=tree_seed)
     pending = list(failures)
+    network.reset_accounting()
+    aborted_tx = 0
+    aborted_energy = 0.0
     for attempt in range(max_retries + 1):
         struck = [f for f in pending if f.attempt == attempt]
         if struck:
-            # The failure hits mid-execution: the attempt delivers nothing,
-            # CTP repairs the tree, and the query re-executes (§IV-F).
+            # The failure hits mid-execution: the attempt's cost is spent,
+            # but nothing usable reaches the base station.  CTP repairs the
+            # tree and the query re-executes (§IV-F).
+            tx_before = network.stats.total_tx_packets()
+            energy_before = network.total_energy()
+            run_snapshot(
+                network, world, query, algo, tree=tree,
+                snapshot_time=float(attempt), reset_accounting=False,
+            )
+            aborted_tx += network.stats.total_tx_packets() - tx_before
+            aborted_energy += network.total_energy() - energy_before
             for failure in struck:
                 failure.apply(network)
                 pending.remove(failure)
@@ -178,9 +214,12 @@ def run_with_failures(
             tree = report.tree
             continue
         outcome = run_snapshot(
-            network, world, query, algorithm, tree=tree, snapshot_time=float(attempt)
+            network, world, query, algo, tree=tree,
+            snapshot_time=float(attempt), reset_accounting=False,
         )
         outcome.details["retries"] = float(attempt)
+        outcome.details["aborted_tx_packets"] = float(aborted_tx)
+        outcome.details["aborted_energy"] = aborted_energy
         return outcome
     raise ExecutionAborted(
         f"query did not complete within {max_retries} retries; "

@@ -5,6 +5,12 @@ table).  The public surface is re-exported here.
 """
 
 from .energy import EnergyLedger, EnergyModel
+from .faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    random_crash_plan,
+)
 from .kernel import AllOf, Environment, Event, Interrupt, Process, Timeout
 from .network import (
     DeploymentConfig,
@@ -28,6 +34,9 @@ __all__ = [
     "EnergyModel",
     "Environment",
     "Event",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "Interrupt",
     "ListTracer",
     "Network",
@@ -44,6 +53,7 @@ __all__ = [
     "deploy_clustered",
     "deploy_grid",
     "deploy_uniform",
+    "random_crash_plan",
     "replay_collection_phase",
     "replay_dissemination_phase",
 ]

@@ -1,0 +1,248 @@
+"""Deterministic in-flight fault injection for the DES engine (§IV-F).
+
+The paper's error-tolerance design is reactive: "If a link goes down during
+the execution of a query, we rely upon the tree protocol to re-establish the
+routing structure.  Afterwards, we simply re-execute the query."  To exercise
+that path *inside* the simulation (rather than between abstract attempts, as
+:func:`repro.joins.runner.run_with_failures` does), this module schedules
+topology changes at simulated times on the DES kernel:
+
+``node-crash``
+    The node dies mid-query: it vanishes from the connectivity graph and its
+    protocol process is interrupted, so anything it had buffered (proxied
+    Treecut tuples, subtree filters) is lost with it.
+``link-drop``
+    A bidirectional link goes down permanently; sends across it exhaust the
+    link-layer ARQ budget and fail.
+``loss-burst``
+    A transient interference burst: for ``duration_s`` every link loses each
+    packet with at least ``loss_rate`` probability.  The ARQ absorbs the
+    burst (extra retransmissions, no protocol failure) unless it exceeds the
+    retry bound.
+
+A :class:`FaultPlan` is an immutable, time-sorted schedule; building one from
+a seed (:func:`random_crash_plan`) is deterministic, so a fixed plan yields
+identical retries, ledgers and recall on every run.  :class:`FaultInjector`
+replays the plan as a kernel process sharing the engine's
+:class:`~repro.sim.kernel.Environment`, emitting one
+:data:`~repro.sim.trace.FAULT_INJECT` trace event per applied fault.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .kernel import Environment, Process
+from .network import Network
+from .node import BASE_STATION_ID
+from .trace import FAULT_INJECT, NullTracer, Tracer
+
+__all__ = [
+    "NODE_CRASH",
+    "LINK_DROP",
+    "LOSS_BURST",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "random_crash_plan",
+]
+
+NODE_CRASH = "node-crash"
+LINK_DROP = "link-drop"
+LOSS_BURST = "loss-burst"
+
+_KINDS = (NODE_CRASH, LINK_DROP, LOSS_BURST)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault; validated at construction, applied at ``time_s``."""
+
+    time_s: float
+    kind: str
+    node_a: int = -1
+    node_b: int = -1
+    #: ``loss-burst`` only: how long the burst lasts.
+    duration_s: float = 0.0
+    #: ``loss-burst`` only: per-packet loss probability floor during the burst.
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time_s}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(_KINDS)}"
+            )
+        if self.kind == NODE_CRASH:
+            if self.node_a < 0:
+                raise ValueError("node-crash needs a target node_a")
+            if self.node_a == BASE_STATION_ID:
+                raise ValueError("the base station is mains powered and does not crash")
+        elif self.kind == LINK_DROP:
+            if self.node_a < 0 or self.node_b < 0:
+                raise ValueError("link-drop needs both node_a and node_b")
+            if self.node_a == self.node_b:
+                raise ValueError(f"a node has no link to itself: {self.node_a}")
+        else:  # LOSS_BURST
+            if self.duration_s <= 0:
+                raise ValueError("loss-burst needs a positive duration_s")
+            if not 0.0 < self.loss_rate <= 1.0:
+                raise ValueError(
+                    f"loss-burst loss_rate must be in (0, 1], got {self.loss_rate}"
+                )
+
+    def _sort_key(self) -> Tuple[float, str, int, int]:
+        return (self.time_s, self.kind, self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults, sorted by injection time."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.faults, key=Fault._sort_key))
+        object.__setattr__(self, "faults", ordered)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan that injects nothing (the engine treats it as no plan)."""
+        return cls(())
+
+    @property
+    def crashed_nodes(self) -> Tuple[int, ...]:
+        """Targets of the plan's node crashes, in injection order."""
+        return tuple(f.node_a for f in self.faults if f.kind == NODE_CRASH)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+def random_crash_plan(
+    node_ids: Sequence[int],
+    crash_count: int,
+    horizon_s: float = 1.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """Crash ``crash_count`` distinct nodes at uniform times in ``[0, horizon_s]``.
+
+    Deterministic for a fixed ``seed``: the same victims crash at the same
+    simulated times on every run.  The base station is never a victim.
+    """
+    if crash_count < 0:
+        raise ValueError(f"negative crash count: {crash_count}")
+    if horizon_s < 0:
+        raise ValueError(f"negative horizon: {horizon_s}")
+    candidates = sorted(n for n in node_ids if n != BASE_STATION_ID)
+    if crash_count > len(candidates):
+        raise ValueError(
+            f"cannot crash {crash_count} of {len(candidates)} candidate nodes"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(candidates, k=crash_count)
+    faults = tuple(
+        Fault(time_s=rng.uniform(0.0, horizon_s), kind=NODE_CRASH, node_a=victim)
+        for victim in victims
+    )
+    return FaultPlan(faults)
+
+
+class FaultInjector:
+    """Replays a :class:`FaultPlan` on a live simulation.
+
+    Runs as a kernel process on the engine's environment; each fault is
+    applied at its scheduled simulated time.  ``on_node_crash`` lets the
+    engine interrupt the dead node's protocol process the instant the crash
+    lands (the process must not keep sending from beyond the grave).
+
+    Loss bursts are implemented by swapping the channel's
+    ``loss_probability`` for a wrapper that floors every link at the highest
+    active burst rate; the original callable (possibly ``None``) is restored
+    when the last burst expires.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        plan: FaultPlan,
+        tracer: Optional[Tracer] = None,
+        on_node_crash: Optional[Callable[[int], None]] = None,
+    ):
+        self.env = env
+        self.network = network
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.on_node_crash = on_node_crash
+        self.applied: List[Fault] = []
+        self._active_bursts: List[float] = []
+        self._base_loss: Optional[Callable[[int, int], float]] = None
+
+    def start(self) -> Process:
+        """Register the injection process; call once, before ``env.run``."""
+        return self.env.process(self._run())
+
+    # -- internals -----------------------------------------------------------
+
+    def _run(self):
+        for fault in self.plan:
+            delay = fault.time_s - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._apply(fault)
+
+    def _apply(self, fault: Fault) -> None:
+        if fault.kind == NODE_CRASH:
+            node = self.network.nodes.get(fault.node_a)
+            if node is None:
+                raise SimulationError(f"fault targets unknown node {fault.node_a}")
+            if node.alive:
+                self.network.fail_node(fault.node_a)
+                if self.on_node_crash is not None:
+                    self.on_node_crash(fault.node_a)
+        elif fault.kind == LINK_DROP:
+            self.network.fail_link(fault.node_a, fault.node_b)
+        else:
+            self._start_burst(fault)
+        self.applied.append(fault)
+        self.tracer.emit(
+            self.env.now,
+            fault.node_a,
+            FAULT_INJECT,
+            fault=fault.kind,
+            node_b=fault.node_b,
+            duration_s=fault.duration_s,
+            loss_rate=fault.loss_rate,
+        )
+
+    def _burst_loss(self, sender: int, receiver: int) -> float:
+        base = self._base_loss(sender, receiver) if self._base_loss is not None else 0.0
+        if not self._active_bursts:
+            return base
+        return max(base, max(self._active_bursts))
+
+    def _start_burst(self, fault: Fault) -> None:
+        channel = self.network.channel
+        if not self._active_bursts:
+            self._base_loss = channel.loss_probability
+            channel.loss_probability = self._burst_loss
+        self._active_bursts.append(fault.loss_rate)
+        self.env.process(self._end_burst(fault.loss_rate, fault.duration_s))
+
+    def _end_burst(self, loss_rate: float, duration_s: float):
+        yield self.env.timeout(duration_s)
+        self._active_bursts.remove(loss_rate)
+        if not self._active_bursts:
+            self.network.channel.loss_probability = self._base_loss
+            self._base_loss = None

@@ -365,3 +365,26 @@ class Environment:
         if until is not None:
             self._now = max(self._now, deadline) if deadline != float("inf") else self._now
         return None
+
+    def run_until(self, event: Event, deadline: float) -> bool:
+        """Run until ``event`` is processed, bounded by a wall-clock deadline.
+
+        Unlike ``run(until=event)``, a starved wait is not an error — it is
+        an answer.  Returns ``True`` when the event fired at or before the
+        deadline.  Returns ``False`` in two stall cases the §IV-F recovery
+        logic distinguishes by the clock it leaves behind:
+
+        * the queue drained with the event still pending — the simulated
+          system has gone quiet and the event can never fire; the clock
+          stays at the last processed event (the stall instant);
+        * the next scheduled event lies beyond ``deadline`` — the clock
+          advances exactly to the deadline (the watchdog fired first).
+        """
+        while not event._processed:
+            next_time = self.peek()
+            if next_time > deadline:
+                if next_time != float("inf"):
+                    self.run(until=deadline)
+                return False
+            self.step()
+        return True

@@ -169,6 +169,7 @@ class Network:
             ),
             arq=arq,
             arq_seed=self.link_quality.seed if self.link_quality is not None else 0,
+            link_up=self.link_up,
         )
         self._adjacency: Dict[int, set[int]] = {}
         self._failed_links: set[frozenset[int]] = set()
@@ -205,6 +206,15 @@ class Network:
             return self._adjacency[node_id]
         except KeyError:
             raise NetworkError(f"unknown or dead node: {node_id}") from None
+
+    def link_up(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are both alive and their link is usable.
+
+        The adjacency structure is rebuilt over alive nodes minus failed
+        links, so a single membership test answers all three questions
+        (endpoints alive, within range, link not failed).
+        """
+        return b in self._adjacency.get(a, ())
 
     @property
     def node_ids(self) -> List[int]:
@@ -274,12 +284,17 @@ class Network:
     # -- failure injection (§IV-F) -------------------------------------------
 
     def fail_node(self, node_id: int) -> None:
-        """Kill a node: it disappears from the graph and sends nothing more."""
+        """Kill a node: it disappears from the graph and sends nothing more.
+
+        Idempotent: killing an already dead node changes nothing.
+        """
         if node_id == BASE_STATION_ID:
             raise NetworkError("the base station is mains powered and does not fail")
         node = self.nodes.get(node_id)
         if node is None:
             raise NetworkError(f"unknown node: {node_id}")
+        if not node.alive:
+            return
         node.alive = False
         self._rebuild_adjacency()
 
@@ -296,11 +311,25 @@ class Network:
         self._adjacency.get(b, set()).discard(a)
 
     def restore_link(self, a: int, b: int) -> None:
-        """Bring a previously failed link back up (if still within range)."""
+        """Bring a previously failed link back up (if still within range).
+
+        Idempotent, and consistent with node state: the adjacency rebuild
+        only spans alive nodes, so restoring a link to a dead node never
+        resurrects connectivity.
+        """
+        for node_id in (a, b):
+            if node_id not in self.nodes:
+                raise NetworkError(f"unknown node: {node_id}")
+        if a == b:
+            raise NetworkError(f"a node has no link to itself: {a}")
         self._failed_links.discard(frozenset((a, b)))
         self._rebuild_adjacency()
 
     # -- accounting helpers ----------------------------------------------------
+
+    def total_energy(self) -> float:
+        """Network-wide energy spent since the last accounting reset."""
+        return sum(node.ledger.total_energy for node in self.nodes.values())
 
     def reset_accounting(self) -> None:
         """Zero all energy ledgers and swap in a fresh statistics collector.

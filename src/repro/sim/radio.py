@@ -36,6 +36,19 @@ uniform draw per packet per receiver, so retransmission counts are
 
 Without a loss model the channel is byte-for-byte the lossless channel: no
 random draws, no extra charges, no latency difference.
+
+Dead links (§IV-F)
+------------------
+When the network supplies a ``link_up`` predicate, a send towards a dead
+node or over a failed link *fails*: the sender spends its first
+transmissions plus the full ARQ retry budget (that is the cost of detecting
+the silence — ``max_retries`` unacknowledged attempts per packet, no random
+draw involved), the receiver is charged nothing, and
+:attr:`Channel.last_send_delivered` reports the failure so the protocol
+layer can model the resulting stall.  A broadcast charges receive costs only
+to the listeners that are actually reachable
+(:attr:`Channel.last_broadcast_reached`).  With every link up the predicate
+changes nothing.
 """
 
 from __future__ import annotations
@@ -49,7 +62,7 @@ from .. import constants
 from ..errors import SimulationError
 from .energy import EnergyLedger
 from .stats import TransmissionStats
-from .trace import NullTracer, Tracer
+from .trace import LINK_DEAD, NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Environment
@@ -138,6 +151,8 @@ class Transmission:
     phase: str
     #: Link-layer retransmissions the ARQ needed on top of ``packets``.
     retries: int = 0
+    #: False when the ARQ gave up: at least one receiver never got the data.
+    delivered: bool = True
 
 
 class Channel:
@@ -166,6 +181,7 @@ class Channel:
         arq: Optional[ArqConfig] = None,
         arq_seed: int = 0,
         tracer: Optional[Tracer] = None,
+        link_up: Optional[Callable[[int, int], bool]] = None,
     ):
         self.packet_format = packet_format
         self.stats = stats
@@ -176,11 +192,17 @@ class Channel:
         self.arq = arq or ArqConfig()
         # Not `tracer or ...`: an empty ListTracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: ``(sender, receiver) -> bool``; None means every link is up.
+        self.link_up = link_up
         self.log: list[Transmission] = []
         #: Serialisation + ARQ latency of the most recent send (zero when the
         #: last send carried nothing).  Equals ``latency_for(payload)`` on a
         #: lossless channel.
         self.last_send_latency_s = 0.0
+        #: Whether the most recent non-empty send reached every receiver.
+        self.last_send_delivered = True
+        #: Receivers the most recent broadcast actually reached.
+        self.last_broadcast_reached: tuple[int, ...] = ()
         #: ARQ latency (retransmission serialisation + backoff) accumulated
         #: since the last :meth:`reset_arq`.
         self.total_arq_delay_s = 0.0
@@ -209,6 +231,8 @@ class Channel:
         self._rng = random.Random(self._arq_seed)
         self.last_send_latency_s = 0.0
         self.total_arq_delay_s = 0.0
+        self.last_send_delivered = True
+        self.last_broadcast_reached = ()
 
     def _draw_retries(self, p_loss: float) -> int:
         """Retransmissions one packet needs on a link losing ``p_loss``.
@@ -261,29 +285,48 @@ class Channel:
 
         Returns the number of packets transmitted (0 for an empty payload);
         ARQ retransmissions are accounted separately and not included.
+        Check :attr:`last_send_delivered` afterwards: a send over a dead
+        link spends the sender's full ARQ budget but delivers nothing.
         """
         packets = self.packet_format.packets_for(payload_bytes)
         self.last_send_latency_s = 0.0
+        self.last_send_delivered = True
         if packets == 0:
             return 0
+        delivered = self.link_up is None or self.link_up(sender, receiver)
         retx_packets = 0
         retx_bytes = 0
-        if self.loss_probability is not None:
+        if not delivered:
+            # No ACK will ever come: the stop-and-wait ARQ retries each
+            # packet to its bound and gives up.  Deterministic — no draw.
+            retx_packets = self.arq.max_retries * packets
+            retx_bytes = self.arq.max_retries * payload_bytes
+        elif self.loss_probability is not None:
             p_loss = self.loss_probability(sender, receiver)
             for size in self.packet_format.fragment_sizes(payload_bytes):
                 retries = self._draw_retries(p_loss)
                 retx_packets += retries
                 retx_bytes += retries * size
         self._ledger(sender).charge_tx(payload_bytes, packets)
-        self._ledger(receiver).charge_rx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
-        self.stats.record_rx(receiver, phase, packets, payload_bytes)
+        if delivered:
+            self._ledger(receiver).charge_rx(payload_bytes, packets)
+            self.stats.record_rx(receiver, phase, packets, payload_bytes)
         arq_delay = self._charge_retries(
             sender, phase, retx_packets, retx_bytes, (receiver,)
         )
         self.last_send_latency_s = packets * self.hop_latency_s + arq_delay
+        if not delivered:
+            self.last_send_delivered = False
+            self.tracer.emit(
+                self._now(), sender, LINK_DEAD,
+                receiver=receiver, phase=phase, bytes=payload_bytes,
+            )
         self.log.append(
-            Transmission(sender, (receiver,), payload_bytes, packets, phase, retx_packets)
+            Transmission(
+                sender, (receiver,), payload_bytes, packets, phase,
+                retx_packets, delivered,
+            )
         )
         return packets
 
@@ -301,11 +344,24 @@ class Channel:
         receiver_ids = tuple(receivers)
         packets = self.packet_format.packets_for(payload_bytes)
         self.last_send_latency_s = 0.0
+        self.last_send_delivered = True
+        self.last_broadcast_reached = receiver_ids
         if packets == 0 or not receiver_ids:
+            self.last_broadcast_reached = ()
             return 0
+        if self.link_up is None:
+            reached = receiver_ids
+        else:
+            reached = tuple(r for r in receiver_ids if self.link_up(sender, r))
         retx_packets = 0
         retx_bytes = 0
-        if self.loss_probability is not None:
+        if len(reached) < len(receiver_ids):
+            # An unreachable listener never ACKs, so the sender repeats each
+            # packet to the ARQ bound regardless of the others; that budget
+            # dominates any loss-induced retries, so no draws are consumed.
+            retx_packets = self.arq.max_retries * packets
+            retx_bytes = self.arq.max_retries * payload_bytes
+        elif self.loss_probability is not None:
             losses = [
                 self.loss_probability(sender, receiver) for receiver in receiver_ids
             ]
@@ -315,15 +371,26 @@ class Channel:
                 retx_bytes += retries * size
         self._ledger(sender).charge_tx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
-        for receiver in receiver_ids:
+        for receiver in reached:
             self._ledger(receiver).charge_rx(payload_bytes, packets)
             self.stats.record_rx(receiver, phase, packets, payload_bytes)
         arq_delay = self._charge_retries(
             sender, phase, retx_packets, retx_bytes, receiver_ids
         )
         self.last_send_latency_s = packets * self.hop_latency_s + arq_delay
+        self.last_broadcast_reached = reached
+        if len(reached) < len(receiver_ids):
+            self.last_send_delivered = False
+            missed = tuple(r for r in receiver_ids if r not in reached)
+            self.tracer.emit(
+                self._now(), sender, LINK_DEAD,
+                receivers=missed, phase=phase, bytes=payload_bytes,
+            )
         self.log.append(
-            Transmission(sender, receiver_ids, payload_bytes, packets, phase, retx_packets)
+            Transmission(
+                sender, receiver_ids, payload_bytes, packets, phase,
+                retx_packets, len(reached) == len(receiver_ids),
+            )
         )
         return packets
 

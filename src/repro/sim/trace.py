@@ -14,7 +14,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer", "ListTracer"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "ListTracer",
+    "FAULT_INJECT",
+    "PHASE_TIMEOUT",
+    "TREE_REPAIR",
+    "LINK_DEAD",
+]
+
+# Well-known event kinds of the fault/recovery subsystem (§IV-F).  Kinds are
+# free-form strings; these four are emitted by the substrate itself and are
+# the ones tests and analyses grep for.
+#: A scheduled fault was applied to the live topology.
+FAULT_INJECT = "fault-inject"
+#: The base station's watchdog gave up on a protocol phase.
+PHASE_TIMEOUT = "phase-timeout"
+#: The routing tree re-converged over the surviving topology.
+TREE_REPAIR = "tree-repair"
+#: A send failed because the link (or its endpoint) is gone; the ARQ budget
+#: was spent without an ACK.
+LINK_DEAD = "link-dead"
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ import pytest
 from repro.bench.experiments import (
     ablation_study,
     compression_table,
+    failure_study,
     fig10_overall,
     fig11_per_node,
     fig12_ratio3,
@@ -134,3 +135,31 @@ def test_series_row_validation():
     series = ExperimentSeries("x", "t", ["a", "b"])
     with pytest.raises(ValueError):
         series.add_row(1)
+
+
+def test_failure_study_recall_and_retry_accounting():
+    series = failure_study(crash_fractions=(0.0, 0.05), node_count=100, seed=0)
+    assert series.columns == [
+        "crash_fraction", "algorithm", "total_tx", "retries",
+        "recall", "aborted_tx", "aborted_energy",
+    ]
+    assert len(series.rows) == 6  # 2 fractions x 3 recovery models
+    clean = [row for row in series.rows if row[0] == 0.0]
+    for row in clean:
+        assert row[3] == 0  # no faults, no retries
+        assert row[4] == 1.0  # full recall
+        assert row[5] == 0  # nothing aborted
+    faulty = [row for row in series.rows if row[0] == 0.05]
+    des_row = next(row for row in faulty if row[1] == "sens-join[des]")
+    # Mid-collection crashes force at least one in-flight retry, whose
+    # partially spent cost is broken out in the aborted columns.
+    assert des_row[3] >= 1
+    assert des_row[5] > 0
+    assert des_row[6] > 0
+    assert all(0.0 <= row[4] <= 1.0 for row in faulty)
+
+
+def test_failure_study_deterministic():
+    a = failure_study(crash_fractions=(0.05,), node_count=100, seed=0)
+    b = failure_study(crash_fractions=(0.05,), node_count=100, seed=0)
+    assert a.rows == b.rows

@@ -40,7 +40,7 @@ class TestRegistry:
             "fig14", "fig15", "fig16", "compression_table", "packet_size",
             "response_time", "ablation", "placement", "memory", "generality",
             "related_work", "continuous", "variance", "resolution",
-            "bs_position", "loss",
+            "bs_position", "loss", "failure",
         ):
             assert required in names
 

@@ -130,3 +130,31 @@ class TestFailureRecovery:
     def test_unknown_failure_kind(self):
         with pytest.raises(ValueError):
             NetworkFailure("meteor", 1).apply(None)
+
+    def test_failures_validated_at_construction(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            NetworkFailure("meteor", 1)
+        # A link failure with the default node_b would silently target
+        # nothing; it must be rejected before it ever reaches a network.
+        with pytest.raises(ValueError, match="node_b"):
+            NetworkFailure("link", 1)
+        with pytest.raises(ValueError, match="attempt"):
+            NetworkFailure("node", 1, attempt=-1)
+
+    def test_aborted_attempt_cost_is_charged(self, fresh_network, fresh_world, tail_query):
+        victim = fresh_network.sensor_node_ids[10]
+        failures = [NetworkFailure("node", victim, attempt=0)]
+        outcome = run_with_failures(
+            fresh_network, fresh_world, tail_query(1.0), failures=failures
+        )
+        # The aborted attempt ran to completion before the failure voided
+        # it, so its full cost appears in the details and in the ledgers.
+        assert outcome.details["aborted_tx_packets"] > 0
+        assert outcome.details["aborted_energy"] > 0.0
+        assert fresh_network.total_energy() >= outcome.details["aborted_energy"]
+        assert outcome.stats.total_tx_packets() > outcome.details["aborted_tx_packets"]
+
+    def test_no_failures_no_aborted_cost(self, fresh_network, fresh_world, tail_query):
+        outcome = run_with_failures(fresh_network, fresh_world, tail_query(1.0))
+        assert outcome.details["aborted_tx_packets"] == 0.0
+        assert outcome.details["aborted_energy"] == 0.0

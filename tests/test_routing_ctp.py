@@ -181,3 +181,58 @@ def test_repair_uses_etx_on_lossy_network():
     report_a = repair_tree(network, tree)
     report_b = repair_tree(network, tree)
     assert report_a.tree.as_parent_map() == report_b.tree.as_parent_map()
+
+
+# -- cascading failures (§IV-F recovery loop) ---------------------------------
+
+
+def test_repeated_repairs_stay_min_hop(small_network):
+    """Three crash/repair rounds: each repaired tree must still be a valid
+    min-hop tree over the survivors (parents alive, neighbours, depths)."""
+    tree = build_tree(small_network, seed=2)
+    for index in (5, 20, 40):
+        victim = small_network.sensor_node_ids[index]
+        small_network.fail_node(victim)
+        report = repair_tree(small_network, tree, seed=2)
+        tree = report.tree
+        assert victim not in tree
+        hops = bfs_hops(small_network)
+        for node_id in tree.node_ids:
+            if node_id == BASE_STATION_ID:
+                continue
+            assert small_network.nodes[tree.parent(node_id)].alive
+            assert tree.parent(node_id) in small_network.neighbours(node_id)
+            assert tree.depth(node_id) == hops[node_id]
+
+
+def test_cascading_crash_orphans_isolated_node(small_network):
+    tree = build_tree(small_network, seed=2)
+    # A deep node: killing its whole neighbourhood cuts it off entirely.
+    victim = max(
+        small_network.sensor_node_ids, key=lambda n: (tree.depth(n), -n)
+    )
+    assert tree.depth(victim) >= 2
+    for neighbour in sorted(small_network.neighbours(victim)):
+        small_network.fail_node(neighbour)
+    report = repair_tree(small_network, tree, seed=2)
+    assert victim in report.orphaned
+    assert victim not in report.tree
+    # A second repair over the same topology changes nothing further; the
+    # still-disconnected node is reported orphaned again (network-level).
+    again = repair_tree(small_network, report.tree, seed=2)
+    assert again.tree.as_parent_map() == report.tree.as_parent_map()
+    assert victim in again.orphaned
+    assert not again.reparented
+
+
+def test_repeated_repairs_deterministic_for_seed():
+    maps = []
+    for _ in range(2):
+        config = DeploymentConfig(node_count=120, area_side_m=300.0, seed=7)
+        network = deploy_uniform(config)
+        tree = build_tree(network, seed=7)
+        for index in (5, 20, 40):
+            network.fail_node(network.sensor_node_ids[index])
+            tree = repair_tree(network, tree, seed=7).tree
+        maps.append(tree.as_parent_map())
+    assert maps[0] == maps[1]

@@ -458,3 +458,42 @@ def test_all_of_processed_failure_seen_by_waiting_process():
     env.process(waiter())
     env.run()
     assert log == ["poisoned"]
+
+
+# -- run_until: bounded wait (the §IV-F watchdog primitive) -------------------
+
+
+def test_run_until_event_fires_before_deadline():
+    env = Environment()
+    ev = env.timeout(1.0, value="done")
+    assert env.run_until(ev, deadline=5.0) is True
+    assert env.now == 1.0
+    assert ev.processed
+
+
+def test_run_until_deadline_advances_clock_to_deadline():
+    env = Environment()
+    ev = env.timeout(10.0)
+    assert env.run_until(ev, deadline=5.0) is False
+    assert env.now == 5.0
+    assert not ev.processed
+
+
+def test_run_until_queue_drain_keeps_clock_at_stall_instant():
+    env = Environment()
+    never = env.event()  # nothing will ever trigger this
+    env.timeout(2.0)
+    # The queue drains at t=2: the simulation is stalled, and the clock must
+    # NOT warp to the (far) deadline — recovery acts at the stall instant.
+    assert env.run_until(never, deadline=100.0) is False
+    assert env.now == 2.0
+
+
+def test_run_until_already_processed_event_returns_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    env.run()
+    assert ev.processed
+    assert env.run_until(ev, deadline=0.0) is True
+    assert env.now == 0.0

@@ -97,6 +97,57 @@ def test_fail_and_restore_link(small_network):
     assert neighbour in small_network.neighbours(node)
 
 
+def test_fail_node_is_idempotent(small_network):
+    victim = small_network.sensor_node_ids[5]
+    small_network.fail_node(victim)
+    energy_before = small_network.total_energy()
+    small_network.fail_node(victim)  # second call: a no-op, not an error
+    assert not small_network.nodes[victim].alive
+    assert small_network.total_energy() == energy_before
+
+
+def test_restore_link_rejects_unknown_and_self(small_network):
+    with pytest.raises(NetworkError, match="unknown node"):
+        small_network.restore_link(1, 99999)
+    with pytest.raises(NetworkError, match="unknown node"):
+        small_network.restore_link(99999, 1)
+    with pytest.raises(NetworkError):
+        small_network.restore_link(5, 5)
+
+
+def test_restore_link_to_dead_node_does_not_resurrect(small_network):
+    node = small_network.sensor_node_ids[0]
+    neighbour = sorted(small_network.neighbours(node))[0]
+    small_network.fail_link(node, neighbour)
+    small_network.fail_node(neighbour)
+    small_network.restore_link(node, neighbour)
+    # The failed-link record is cleared, but a dead endpoint stays
+    # unreachable: restoring the link must not revive connectivity.
+    assert neighbour not in small_network.neighbours(node)
+    assert not small_network.link_up(node, neighbour)
+
+
+def test_link_up_tracks_adjacency(small_network):
+    node = small_network.sensor_node_ids[0]
+    neighbour = sorted(small_network.neighbours(node))[0]
+    assert small_network.link_up(node, neighbour)
+    assert small_network.link_up(neighbour, node)
+    small_network.fail_link(node, neighbour)
+    assert not small_network.link_up(node, neighbour)
+    assert not small_network.link_up(neighbour, node)
+    assert not small_network.link_up(node, 99999)
+
+
+def test_total_energy_sums_ledgers(small_network):
+    assert small_network.total_energy() == 0.0
+    a, b = small_network.sensor_node_ids[:2]
+    small_network.channel.unicast(a, b, 10, "x")
+    assert small_network.total_energy() == pytest.approx(
+        sum(n.ledger.total_energy for n in small_network.nodes.values())
+    )
+    assert small_network.total_energy() > 0.0
+
+
 def test_scaled_config_keeps_density():
     base = DeploymentConfig()
     scaled = base.scaled(600)

@@ -267,3 +267,79 @@ class TestLossyChannel:
         channel, _, _ = make_lossy_channel(p_loss, seed=seed)
         retries = channel._draw_retries(p_loss)
         assert 0 <= retries <= channel.arq.max_retries
+
+
+class TestDeadLinks:
+    """§IV-F: sends over a severed link spend the ARQ budget, deliver nothing."""
+
+    def make_dead_channel(self, dead=(3,), loss=None, seed=5, tracer=None):
+        stats = TransmissionStats()
+        ledgers = {node: EnergyLedger() for node in (1, 2, 3)}
+        kwargs = {"tracer": tracer} if tracer is not None else {}
+        channel = Channel(
+            PacketFormat(48), stats, ledgers,
+            loss_probability=loss, arq_seed=seed,
+            link_up=lambda a, b: b not in dead,
+            **kwargs,
+        )
+        return channel, stats, ledgers
+
+    def test_unicast_over_dead_link_charges_sender_only(self):
+        channel, stats, ledgers = self.make_dead_channel()
+        packets = channel.unicast(1, 3, 480, "phase")
+        assert packets == 10
+        assert channel.last_send_delivered is False
+        # Sender pays the transmission plus the full retry budget…
+        assert ledgers[1].tx_packets == 10
+        assert stats.total_retx_packets() == channel.arq.max_retries * 10
+        # …the receiver hears nothing and pays nothing.
+        assert ledgers[3].rx_packets == 0
+        assert stats.node_rx_packets(3) == 0
+        assert channel.log[-1].delivered is False
+
+    def test_live_link_unaffected(self):
+        channel, _, ledgers = self.make_dead_channel()
+        channel.unicast(1, 2, 480, "phase")
+        assert channel.last_send_delivered is True
+        assert ledgers[2].rx_packets == 10
+        assert channel.log[-1].delivered is True
+
+    def test_dead_link_consumes_no_arq_draws(self):
+        # The failed send's retries are a fixed budget, not sampled — so a
+        # dead link must not perturb the seeded draw sequence of later sends.
+        flaky = lambda a, b: 0.3
+        channel_a, _, _ = self.make_dead_channel(loss=flaky)
+        channel_a.unicast(1, 2, 480, "phase")
+        clean_retries = channel_a.log[-1].retries
+        channel_b, _, _ = self.make_dead_channel(loss=flaky)
+        channel_b.unicast(1, 3, 480, "phase")  # dead; no draws
+        channel_b.unicast(1, 2, 480, "phase")
+        assert channel_b.log[-1].retries == clean_retries
+
+    def test_broadcast_partial_reach(self):
+        channel, stats, ledgers = self.make_dead_channel()
+        channel.broadcast(1, [2, 3], 480, "phase")
+        assert channel.last_broadcast_reached == (2,)
+        assert channel.last_send_delivered is False
+        assert ledgers[2].rx_packets == 10
+        assert ledgers[3].rx_packets == 0
+        # The unreachable listener never ACKs: full retry budget.
+        assert stats.total_retx_packets() == channel.arq.max_retries * 10
+
+    def test_broadcast_all_reached(self):
+        channel, stats, _ = self.make_dead_channel(dead=())
+        channel.broadcast(1, [2, 3], 480, "phase")
+        assert channel.last_broadcast_reached == (2, 3)
+        assert channel.last_send_delivered is True
+        assert stats.total_retx_packets() == 0
+
+    def test_dead_link_emits_trace_event(self):
+        from repro.sim.trace import LINK_DEAD, ListTracer
+
+        tracer = ListTracer()
+        channel, _, _ = self.make_dead_channel(tracer=tracer)
+        channel.unicast(1, 3, 480, "phase")
+        events = tracer.filter(kind=LINK_DEAD)
+        assert len(events) == 1
+        assert events[0].node_id == 1
+        assert events[0].detail["receiver"] == 3

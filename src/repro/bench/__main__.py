@@ -144,6 +144,31 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_profile(manifest_path: Path) -> Optional[str]:
+    """One-line profile summary from a run manifest, or None if absent."""
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError):
+        return None
+    profile = manifest.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    cache = profile.get("cache", {})
+    line = (
+        f"# cache: {cache.get('hits', 0)} hit(s), "
+        f"{cache.get('misses', 0)} miss(es), "
+        f"{cache.get('puts', 0)} put(s), "
+        f"{cache.get('evictions', 0)} eviction(s)"
+    )
+    slowest = profile.get("slowest_cells") or []
+    if slowest:
+        cells = ", ".join(
+            f"{entry['label']} {entry['elapsed_s']:.1f}s" for entry in slowest
+        )
+        line += f"\n# slowest cells: {cells}"
+    return line
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     bundle = Path(args.results_dir) / SERIES_BUNDLE
     if not bundle.exists():
@@ -156,6 +181,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for payload in payloads:
         print(render_table(ExperimentSeries.from_dict(payload)))
         print()
+    profile = _render_profile(Path(args.results_dir) / MANIFEST_NAME)
+    if profile is not None:
+        print(profile)
     return 0
 
 

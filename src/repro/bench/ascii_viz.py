@@ -14,6 +14,9 @@ terminal art good enough to *see* the paper's mechanisms at work:
     The routing tree as per-cell hop counts.
 :func:`render_histogram`
     A quick horizontal bar chart for cost breakdowns.
+:func:`render_timeline`
+    Node activity over simulated time from ``(time, node_id)`` pairs — the
+    view behind ``python -m repro.obs timeline``.
 
 All renderers rasterise node positions onto a character grid; cells holding
 several nodes show the mean value.
@@ -33,6 +36,7 @@ __all__ = [
     "render_node_load",
     "render_tree_depths",
     "render_histogram",
+    "render_timeline",
 ]
 
 #: Light-to-dark ramp used for heat maps.
@@ -154,6 +158,67 @@ def render_tree_depths(
                 cells.append(symbols[min(int(round(value)), len(symbols) - 1)])
         lines.append("".join(cells))
     lines.append(f"hop count 0..{int(finite.max())} (base station = 0)")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    events: Sequence[Tuple[float, int]],
+    width: int = 72,
+    height: int = 20,
+    ramp: str = DEFAULT_RAMP,
+) -> str:
+    """Node-activity heat map over time from ``(time, node_id)`` pairs.
+
+    Time is bucketed into ``width`` columns (earliest to latest event) and
+    node ids into at most ``height`` row bands (lowest id at the top); each
+    cell's character encodes how many events fall into that (band, bucket),
+    darkest = busiest.  Events with negative node ids (no specific node) are
+    dropped.
+    """
+    points = [(t, n) for t, n in events if n >= 0]
+    if not points:
+        return "(no events to draw)"
+    times = np.array([t for t, _ in points])
+    t_lo, t_hi = float(times.min()), float(times.max())
+    t_span = (t_hi - t_lo) or 1.0
+    node_ids = sorted({n for _, n in points})
+    bands = min(height, len(node_ids))
+    band_of = {n: min(i * bands // len(node_ids), bands - 1)
+               for i, n in enumerate(node_ids)}
+    counts = np.zeros((bands, width))
+    for t, n in points:
+        column = min(int((t - t_lo) / t_span * (width - 1)), width - 1)
+        counts[band_of[n], column] += 1
+    peak = float(counts.max()) or 1.0
+    # Band labels: the id range each row covers.
+    band_members: dict[int, list[int]] = {}
+    for n in node_ids:
+        band_members.setdefault(band_of[n], []).append(n)
+    labels = []
+    for band in range(bands):
+        members = band_members.get(band, [])
+        if not members:
+            labels.append("")
+        elif len(members) == 1:
+            labels.append(f"{members[0]}")
+        else:
+            labels.append(f"{members[0]}-{members[-1]}")
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for band in range(bands):
+        cells = []
+        for column in range(width):
+            count = counts[band, column]
+            if count == 0:
+                cells.append(" ")
+            else:
+                index = int(count / peak * (len(ramp) - 1))
+                cells.append(ramp[max(index, 1)])
+        lines.append(f"{labels[band].rjust(label_width)} |{''.join(cells)}|")
+    lines.append(
+        f"{'node'.rjust(label_width)}  t={t_lo:.3f}s ... {t_hi:.3f}s, "
+        f"peak {int(peak)} events/cell"
+    )
     return "\n".join(lines)
 
 

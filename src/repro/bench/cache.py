@@ -103,10 +103,20 @@ class ResultCache:
     >>> cache.put("ab12...", {"rows": [[1, 2]]})
     >>> cache.get("ab12...")
     {'rows': [[1, 2]]}
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    lookup/store/eviction increments the ``bench_cache_*_total`` counters
+    the harness records into its run manifest and ``python -m repro.bench
+    report`` prints.
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(self, root: Path, registry: Optional[Any] = None) -> None:
         self.root = Path(root)
+        if registry is None:
+            from ..obs.metrics import NULL_REGISTRY
+
+            registry = NULL_REGISTRY
+        self.registry = registry
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -116,9 +126,14 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path) as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except (OSError, ValueError):
+            if self.registry.enabled:
+                self.registry.counter("bench_cache_misses_total").inc()
             return None
+        if self.registry.enabled:
+            self.registry.counter("bench_cache_hits_total").inc()
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically store ``payload`` under ``key``; returns the path."""
@@ -133,6 +148,8 @@ class ResultCache:
             if os.path.exists(temp):
                 os.unlink(temp)
             raise
+        if self.registry.enabled:
+            self.registry.counter("bench_cache_puts_total").inc()
         return path
 
     def clear(self) -> int:
@@ -141,6 +158,8 @@ class ResultCache:
             return 0
         count = sum(1 for _ in self.root.glob("*/*.json"))
         shutil.rmtree(self.root)
+        if self.registry.enabled and count:
+            self.registry.counter("bench_cache_evictions_total").inc(count)
         return count
 
     def __len__(self) -> int:

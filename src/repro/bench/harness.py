@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import constants
 from ..errors import ProtocolError
+from ..obs.metrics import MetricsRegistry
 from .cache import CACHE_DIR_ENV, ResultCache, cache_key, code_fingerprint
 from .experiments import DEFAULT_FRACTIONS, variance_summary_note
 from .reporting import ExperimentSeries
@@ -462,7 +463,12 @@ def run_experiments(
     selected = select_specs(specs, patterns)
     cells = [cell for spec in selected for cell in spec.cells]
     fingerprint = code_fingerprint()
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    registry = MetricsRegistry()
+    cache = (
+        ResultCache(cache_dir, registry=registry)
+        if cache_dir is not None
+        else None
+    )
 
     previous_env = os.environ.get(CACHE_DIR_ENV)
     if cache is not None:
@@ -482,7 +488,9 @@ def run_experiments(
         spec.assemble([by_cell[id(cell)].series for cell in spec.cells])
         for spec in selected
     ]
-    manifest = _build_manifest(selected, ordered, fingerprint, jobs, cache_dir)
+    manifest = _build_manifest(
+        selected, ordered, fingerprint, jobs, cache_dir, registry
+    )
     return RunResult(series=series, results=ordered, manifest=manifest)
 
 
@@ -577,10 +585,24 @@ def _build_manifest(
     fingerprint: str,
     jobs: int,
     cache_dir: Optional[Path],
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Any]:
     by_experiment: Dict[str, List[CellResult]] = {}
     for result in results:
         by_experiment.setdefault(result.cell.experiment, []).append(result)
+    profile: Dict[str, Any] = {
+        "cache": {
+            "hits": int(registry.total("bench_cache_hits_total")) if registry else 0,
+            "misses": int(registry.total("bench_cache_misses_total")) if registry else 0,
+            "puts": int(registry.total("bench_cache_puts_total")) if registry else 0,
+            "evictions": int(registry.total("bench_cache_evictions_total")) if registry else 0,
+        },
+        "slowest_cells": [
+            {"label": r.cell.label, "elapsed_s": round(r.elapsed_s, 3)}
+            for r in sorted(results, key=lambda r: r.elapsed_s, reverse=True)[:5]
+            if not r.cached
+        ],
+    }
     return {
         "schema": MANIFEST_SCHEMA,
         "created_unix": time.time(),
@@ -590,6 +612,7 @@ def _build_manifest(
         "total_cells": len(results),
         "cached_cells": sum(1 for r in results if r.cached),
         "total_cell_seconds": round(sum(r.elapsed_s for r in results), 3),
+        "profile": profile,
         "experiments": [
             {
                 "name": spec.name,

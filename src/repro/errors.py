@@ -62,3 +62,7 @@ class ProtocolError(ReproError):
 
 class ExecutionAborted(ReproError):
     """A query execution was aborted (e.g. by unrecovered network failure)."""
+
+
+class TraceFormatError(ReproError):
+    """A JSONL trace export is malformed or has an unsupported schema."""

@@ -48,6 +48,7 @@ from .. import constants
 from ..codec.quadtree import FlaggedPoint
 from ..codec.setops import intersect_points, union_points
 from ..errors import ExecutionAborted
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..query.evaluate import JoinResult, Row, evaluate_join
 from ..routing.ctp import repair_tree
 from ..routing.tree import RoutingTree
@@ -163,11 +164,23 @@ class DesSensJoin(JoinAlgorithm):
         recovery: Optional[RecoveryPolicy] = None,
         tracer: Optional[Tracer] = None,
         repair_seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.fault_plan = fault_plan
         self.recovery = recovery
-        self.tracer = tracer
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if tracer is not None:
+            self.tracer = tracer
+        elif telemetry is not None:
+            self.tracer = telemetry.tracer
+        else:
+            self.tracer = None
         self.repair_seed = repair_seed
+
+    def instrument(self, telemetry: Telemetry) -> None:
+        """Attach a live telemetry (spans under the kernel clock)."""
+        self.telemetry = telemetry
+        self.tracer = telemetry.tracer
 
     def execute(self, context: ExecutionContext) -> JoinOutcome:
         """Run the protocol as kernel processes; see the module docstring."""
@@ -175,8 +188,23 @@ class DesSensJoin(JoinAlgorithm):
         fmt = context.tuple_format()
         env = Environment()
         if self.fault_plan is None or not self.fault_plan:
+            tel = self.telemetry.with_clock(lambda: env.now)
             state = self._spawn_attempt(env, network, tree, fmt)
-            env.run(until=state.done_final[BASE_STATION_ID])
+            if tel.enabled:
+                # Drive the run in two stages so the collection/downstream
+                # boundary lands on a span edge; the kernel's event order is
+                # deterministic, so staging does not change the execution.
+                children = tree.children(BASE_STATION_ID)
+                with tel.span(
+                    PHASE_COLLECTION, node_id=BASE_STATION_ID, protocol=self.name
+                ):
+                    env.run(until=env.all_of([state.done_1a[c] for c in children]))
+                with tel.span(
+                    "filter-and-final", node_id=BASE_STATION_ID, protocol=self.name
+                ):
+                    env.run(until=state.done_final[BASE_STATION_ID])
+            else:
+                env.run(until=state.done_final[BASE_STATION_ID])
             return JoinOutcome(
                 algorithm=self.name,
                 result=self._evaluate(context, fmt, state),
@@ -196,6 +224,8 @@ class DesSensJoin(JoinAlgorithm):
         network, tree = context.network, context.tree
         channel = network.channel
         tracer = self.tracer if self.tracer is not None else NullTracer()
+        tel = self.telemetry.with_clock(lambda: env.now)
+        reg = tel.registry
         policy = self.recovery or RecoveryPolicy()
 
         # The completeness reference, taken before the first fault strikes.
@@ -214,7 +244,8 @@ class DesSensJoin(JoinAlgorithm):
                 proc.interrupt("node-crash")
 
         injector = FaultInjector(
-            env, network, self.fault_plan, tracer=tracer, on_node_crash=kill_process
+            env, network, self.fault_plan, tracer=tracer,
+            on_node_crash=kill_process, telemetry=tel,
         )
         injector.start()
 
@@ -230,14 +261,23 @@ class DesSensJoin(JoinAlgorithm):
         state: Optional[_AttemptState] = None
 
         saved_tracer = channel.tracer
+        saved_telemetry = channel.telemetry
         channel.tracer = tracer
+        channel.telemetry = tel
         try:
             for attempt in range(policy.max_retries + 1):
-                state = self._spawn_attempt(env, network, tree, fmt)
-                live["state"] = state
-                completed = self._monitor_attempt(
-                    env, network, tree, state, policy, tracer, attempt
-                )
+                if reg.enabled:
+                    reg.counter("recovery_attempts_total", protocol=self.name).inc()
+                with tel.span(
+                    "recovery-attempt", node_id=BASE_STATION_ID,
+                    protocol=self.name, attempt=attempt,
+                ) as attempt_span:
+                    state = self._spawn_attempt(env, network, tree, fmt)
+                    live["state"] = state
+                    completed = self._monitor_attempt(
+                        env, network, tree, state, policy, tracer, attempt, tel
+                    )
+                    attempt_span.labels["completed"] = completed
                 if completed:
                     break
                 self._abort_attempt(env, state)
@@ -249,21 +289,26 @@ class DesSensJoin(JoinAlgorithm):
                 tx_mark, energy_mark = now_tx, now_energy
                 if attempt == policy.max_retries:
                     break
-                report = repair_tree(network, tree, seed=self.repair_seed)
-                tree = report.tree
-                repairs += 1
-                orphaned = len(report.orphaned)
-                tracer.emit(
-                    env.now, BASE_STATION_ID, TREE_REPAIR,
-                    attempt=attempt,
-                    reparented=len(report.reparented),
-                    orphaned=len(report.orphaned),
-                )
-                if backoff > 0:
-                    env.run(until=env.now + backoff)
+                with tel.span(
+                    "tree-repair-and-backoff", node_id=BASE_STATION_ID,
+                    protocol=self.name, attempt=attempt,
+                ):
+                    report = repair_tree(network, tree, seed=self.repair_seed)
+                    tree = report.tree
+                    repairs += 1
+                    orphaned = len(report.orphaned)
+                    tracer.emit(
+                        env.now, BASE_STATION_ID, TREE_REPAIR,
+                        attempt=attempt,
+                        reparented=len(report.reparented),
+                        orphaned=len(report.orphaned),
+                    )
+                    if backoff > 0:
+                        env.run(until=env.now + backoff)
                 backoff *= policy.backoff_factor
         finally:
             channel.tracer = saved_tracer
+            channel.telemetry = saved_telemetry
 
         if not completed and policy.on_exhaustion == "raise":
             raise ExecutionAborted(
@@ -322,12 +367,15 @@ class DesSensJoin(JoinAlgorithm):
         policy: RecoveryPolicy,
         tracer: Tracer,
         attempt: int,
+        tel: Optional[Telemetry] = None,
     ) -> bool:
         """Drive one attempt with the base station's per-phase watchdog.
 
         Returns True when the final result arrived; False on a stall, with
         a ``phase-timeout`` trace event naming the starved phase.
         """
+        tel = tel if tel is not None else NULL_TELEMETRY
+        reg = tel.registry
         budget = (
             policy.phase_timeout_s
             if policy.phase_timeout_s is not None
@@ -335,10 +383,20 @@ class DesSensJoin(JoinAlgorithm):
         )
         children = tree.children(BASE_STATION_ID)
         collection = env.all_of([state.done_1a[child] for child in children])
-        if not env.run_until(collection, env.now + budget):
+        with tel.span(
+            PHASE_COLLECTION, node_id=BASE_STATION_ID,
+            protocol=self.name, attempt=attempt,
+        ) as sp:
+            arrived = env.run_until(collection, env.now + budget)
+            sp.ok = arrived
+        if not arrived:
             waiting = sum(
                 1 for child in children if not state.done_1a[child].processed
             )
+            if reg.enabled:
+                reg.counter(
+                    "phase_timeouts_total", phase=PHASE_COLLECTION, protocol=self.name
+                ).inc()
             tracer.emit(
                 env.now, BASE_STATION_ID, PHASE_TIMEOUT,
                 phase=PHASE_COLLECTION, attempt=attempt, waiting=waiting,
@@ -346,7 +404,15 @@ class DesSensJoin(JoinAlgorithm):
             return False
         # Filter dissemination and final collection ride on one watchdog:
         # the base process drives 1b itself and then awaits phase 2.
-        if not env.run_until(state.done_final[BASE_STATION_ID], env.now + 2 * budget):
+        with tel.span(
+            "filter-and-final", node_id=BASE_STATION_ID,
+            protocol=self.name, attempt=attempt,
+        ) as sp:
+            finished = env.run_until(
+                state.done_final[BASE_STATION_ID], env.now + 2 * budget
+            )
+            sp.ok = finished
+        if not finished:
             stalled_filter = any(
                 not state.filter_ready[node_id].processed
                 for node_id in tree.node_ids
@@ -354,10 +420,14 @@ class DesSensJoin(JoinAlgorithm):
                 and not state.exited.get(node_id)
                 and network.nodes[node_id].alive
             )
+            starved = PHASE_FILTER if stalled_filter else PHASE_FINAL
+            if reg.enabled:
+                reg.counter(
+                    "phase_timeouts_total", phase=starved, protocol=self.name
+                ).inc()
             tracer.emit(
                 env.now, BASE_STATION_ID, PHASE_TIMEOUT,
-                phase=PHASE_FILTER if stalled_filter else PHASE_FINAL,
-                attempt=attempt,
+                phase=starved, attempt=attempt,
             )
             return False
         return True

@@ -21,11 +21,13 @@ query re-executes from a fresh snapshot.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..data.relations import SensorWorld
 from ..errors import ExecutionAborted
+from ..obs.telemetry import Telemetry
 from ..query.query import JoinQuery, SamplePeriod
 from ..routing.ctp import build_tree, repair_tree
 from ..routing.dissemination import flood_query
@@ -41,6 +43,7 @@ __all__ = [
     "run_with_failures",
     "NetworkFailure",
     "make_algorithm",
+    "instrumented",
 ]
 
 _ALGORITHMS: dict[str, Callable[[], JoinAlgorithm]] = {
@@ -64,6 +67,30 @@ def make_algorithm(
         raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
 
 
+@contextmanager
+def instrumented(network: Network, telemetry: Optional[Telemetry]):
+    """Attach ``telemetry`` to the network's channel for the duration.
+
+    The channel's metrics sink and tracer are swapped in on entry and the
+    previous ones restored on exit, so one network can serve both traced and
+    untraced executions.  ``None`` leaves the channel exactly as it is (a
+    tracer someone attached directly stays in charge).
+    """
+    if telemetry is None:
+        yield network
+        return
+    channel = network.channel
+    saved_telemetry = channel.telemetry
+    saved_tracer = channel.tracer
+    channel.telemetry = telemetry
+    channel.tracer = telemetry.tracer
+    try:
+        yield network
+    finally:
+        channel.telemetry = saved_telemetry
+        channel.tracer = saved_tracer
+
+
 def run_snapshot(
     network: Network,
     world: SensorWorld,
@@ -74,6 +101,7 @@ def run_snapshot(
     disseminate_query: bool = False,
     tree_seed: int = 0,
     reset_accounting: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> JoinOutcome:
     """Execute one snapshot ("ONCE") query and return the outcome.
 
@@ -82,17 +110,26 @@ def run_snapshot(
     ``reset_accounting=False`` lets multi-attempt drivers
     (:func:`run_with_failures`) accumulate the cost of aborted attempts
     into the final outcome's ledgers.
+
+    ``telemetry`` (optional) observes the execution: the channel charges
+    per-node/per-phase counters into its registry, and the algorithm — if it
+    supports :meth:`~repro.joins.base.JoinAlgorithm.instrument` — emits
+    phase spans and protocol-decision events into its tracer.  Passing
+    ``None`` (the default) leaves every accounting code path untouched.
     """
     algo = make_algorithm(algorithm)
+    if telemetry is not None:
+        algo.instrument(telemetry)
     if tree is None:
         tree = build_tree(network, seed=tree_seed)
     if reset_accounting:
         network.reset_accounting()
-    if disseminate_query:
-        flood_query(network, len(query.sql().encode()))
-    world.take_snapshot(snapshot_time)
-    context = ExecutionContext(network=network, tree=tree, world=world, query=query)
-    outcome = algo.execute(context)
+    with instrumented(network, telemetry):
+        if disseminate_query:
+            flood_query(network, len(query.sql().encode()))
+        world.take_snapshot(snapshot_time)
+        context = ExecutionContext(network=network, tree=tree, world=world, query=query)
+        outcome = algo.execute(context)
     if network.link_quality is not None:
         outcome.details["retransmissions"] = float(outcome.total_retransmissions)
     return outcome

@@ -35,6 +35,7 @@ the Fig. 16 / §VI-B comparisons).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -43,9 +44,21 @@ from ..codec.compression import compressed_size, encode_raw_tuples
 from ..codec.quadtree import FlaggedPoint
 from ..codec.setops import intersect_points, union_points
 from ..errors import ProtocolError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..query.evaluate import Row, evaluate_join
 from ..sim.node import BASE_STATION_ID
-from ..sim.trace import NullTracer, Tracer
+from ..sim.trace import (
+    FILTER_BROADCAST,
+    FILTER_PRUNED,
+    FINAL_SEND,
+    NullTracer,
+    PROXY_STORE,
+    SEND_JOIN_ATTS,
+    SUBTREE_OVERFLOW,
+    SUBTREE_STORE,
+    TREECUT_EXIT,
+    Tracer,
+)
 from .base import (
     ExecutionContext,
     FullTupleRecord,
@@ -114,16 +127,34 @@ class SensJoin(JoinAlgorithm):
     def __init__(
         self,
         config: SensJoinConfig = SensJoinConfig(),
-        tracer: Tracer = NullTracer(),
+        tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config
-        self.tracer = tracer
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = self.telemetry.tracer
         if config.representation != "quadtree":
             self.name = f"sens-join[{config.representation}]"
+
+    def instrument(self, telemetry: Telemetry) -> None:
+        """Attach a live telemetry (spans, counters, and its tracer)."""
+        self.telemetry = telemetry
+        self.tracer = telemetry.tracer
 
     # -- payload sizing under the configured representation ---------------------
 
     def _joinatts_bytes(self, fmt: TupleFormat, payload: _JoinAttrPayload) -> int:
+        if not self.telemetry.enabled:
+            return self._joinatts_bytes_raw(fmt, payload)
+        t0 = time.perf_counter()
+        size = self._joinatts_bytes_raw(fmt, payload)
+        self._observe_codec("join-atts", size, time.perf_counter() - t0)
+        return size
+
+    def _joinatts_bytes_raw(self, fmt: TupleFormat, payload: _JoinAttrPayload) -> int:
         representation = self.config.representation
         if representation == "quadtree":
             return fmt.encoded_points_bytes(payload.points)
@@ -136,11 +167,26 @@ class SensJoin(JoinAlgorithm):
         return compressed_size(raw, representation)
 
     def _filter_bytes(self, fmt: TupleFormat, points: FrozenSet[FlaggedPoint]) -> int:
+        if not self.telemetry.enabled:
+            return self._filter_bytes_raw(fmt, points)
+        t0 = time.perf_counter()
+        size = self._filter_bytes_raw(fmt, points)
+        self._observe_codec("filter", size, time.perf_counter() - t0)
+        return size
+
+    def _filter_bytes_raw(self, fmt: TupleFormat, points: FrozenSet[FlaggedPoint]) -> int:
         if self.config.representation == "quadtree":
             return fmt.encoded_points_bytes(points)
         # Non-quadtree representations ship the filter as raw (quantized
         # representative) tuples; compression never pays off at filter sizes.
         return len(points) * fmt.raw_join_tuple_bytes
+
+    def _observe_codec(self, kind: str, size: int, wall_s: float) -> None:
+        """Feed one encode into the codec histograms (telemetry enabled only)."""
+        reg = self.telemetry.registry
+        rep = self.config.representation
+        reg.histogram("codec_encode_wall_seconds", kind=kind, representation=rep).observe(wall_s)
+        reg.histogram("codec_payload_bytes", kind=kind, representation=rep).observe(size)
 
     # -- main protocol -------------------------------------------------------------
 
@@ -153,19 +199,34 @@ class SensJoin(JoinAlgorithm):
 
         states: Dict[int, _NodeState] = {node_id: _NodeState() for node_id in tree.node_ids}
         details: Dict[str, float] = {}
+        tel = self.telemetry
 
-        bs_points, bs_finish = self._collection_phase(
-            context, fmt, states, keep_raw, details
-        )
+        with tel.span(
+            PHASE_COLLECTION, node_id=BASE_STATION_ID, start=0.0, protocol=self.name
+        ) as sp:
+            bs_points, bs_finish = self._collection_phase(
+                context, fmt, states, keep_raw, details
+            )
+            sp.end = bs_finish
 
         details["collection_finish_s"] = bs_finish
         join_filter = build_join_filter(fmt, bs_points)
         details["filter_points"] = float(len(join_filter))
         details["filter_bytes"] = float(self._filter_bytes(fmt, join_filter))
 
-        self._filter_phase(context, fmt, states, join_filter, bs_finish, details)
+        with tel.span(
+            PHASE_FILTER, node_id=BASE_STATION_ID, start=bs_finish, protocol=self.name
+        ) as sp:
+            filter_finish = self._filter_phase(
+                context, fmt, states, join_filter, bs_finish, details
+            )
+            sp.end = filter_finish
 
-        result, response_time = self._final_phase(context, fmt, states, details)
+        with tel.span(
+            PHASE_FINAL, node_id=BASE_STATION_ID, start=filter_finish, protocol=self.name
+        ) as sp:
+            result, response_time = self._final_phase(context, fmt, states, details)
+            sp.end = max(filter_finish, response_time)
 
         # Three epoch-scheduled phases (collection, dissemination, final
         # collection; Fig. 1's sleepUntilNextStep boundaries) plus the
@@ -194,6 +255,7 @@ class SensJoin(JoinAlgorithm):
         network, tree = context.network, context.tree
         channel = network.channel
         treecut_enabled = self.config.dmax_bytes > 0
+        reg = self.telemetry.registry
 
         # In-flight child payloads, keyed by sender.
         full_up: Dict[int, List[FullTupleRecord]] = {}
@@ -261,8 +323,10 @@ class SensJoin(JoinAlgorithm):
                 state.exited = True
                 exited += 1
                 state.finish_1a = children_finish + channel.last_send_latency_s
+                if reg.enabled:
+                    reg.counter("treecut_exits_total", protocol=self.name).inc()
                 self.tracer.emit(
-                    state.finish_1a, node_id, "treecut-exit",
+                    state.finish_1a, node_id, TREECUT_EXIT,
                     tuples=len(records), bytes=payload_bytes,
                 )
                 continue
@@ -271,8 +335,13 @@ class SensJoin(JoinAlgorithm):
             state.proxy_records = received_full
             if received_full:
                 proxies += 1
+                if reg.enabled:
+                    reg.counter("proxy_stores_total", protocol=self.name).inc()
+                    reg.counter(
+                        "proxied_tuples_total", protocol=self.name
+                    ).inc(len(received_full))
                 self.tracer.emit(
-                    children_finish, node_id, "proxy-store", tuples=len(received_full)
+                    children_finish, node_id, PROXY_STORE, tuples=len(received_full)
                 )
             # Selective Filter Forwarding memory (Fig. 2 line 21): keep the
             # children's join-attribute points, if they fit the budget.
@@ -281,14 +350,16 @@ class SensJoin(JoinAlgorithm):
                 if stored_size <= self.config.subtree_limit_bytes:
                     state.subtree_atts = received_atts
                     self.tracer.emit(
-                        children_finish, node_id, "subtree-store", bytes=stored_size
+                        children_finish, node_id, SUBTREE_STORE, bytes=stored_size
                     )
                 else:
                     # Memory cap exceeded (paper: happens "close to the root
                     # only"); this node cannot prune the filter.
                     state.subtree_atts = None
+                    if reg.enabled:
+                        reg.counter("subtree_overflows_total", protocol=self.name).inc()
                     self.tracer.emit(
-                        children_finish, node_id, "subtree-overflow", bytes=stored_size
+                        children_finish, node_id, SUBTREE_OVERFLOW, bytes=stored_size
                     )
             elif self.config.subtree_limit_bytes > 0:
                 state.subtree_atts = received_atts  # empty set, costs nothing
@@ -320,7 +391,7 @@ class SensJoin(JoinAlgorithm):
             bytes_up[node_id] = payload_bytes
             state.finish_1a = children_finish + channel.last_send_latency_s
             self.tracer.emit(
-                state.finish_1a, node_id, "send-join-atts",
+                state.finish_1a, node_id, SEND_JOIN_ATTS,
                 points=len(points), bytes=payload_bytes,
             )
 
@@ -347,16 +418,22 @@ class SensJoin(JoinAlgorithm):
         join_filter: FrozenSet[FlaggedPoint],
         start_time: float,
         details: Dict[str, float],
-    ) -> None:
-        """Pre-order dissemination with Selective Filter Forwarding."""
+    ) -> float:
+        """Pre-order dissemination with Selective Filter Forwarding.
+
+        Returns the time the filter wave dies out (the latest arrival at any
+        node that heard it) — the phase-span boundary.
+        """
         network, tree = context.network, context.tree
         channel = network.channel
         pruning_enabled = self.config.subtree_limit_bytes > 0
+        reg = self.telemetry.registry
 
         states[BASE_STATION_ID].filter_received = join_filter
         states[BASE_STATION_ID].filter_arrival = start_time
         broadcasts = 0
         pruned_subtrees = 0
+        last_arrival = start_time
 
         for node_id in tree.pre_order():
             state = states[node_id]
@@ -377,22 +454,26 @@ class SensJoin(JoinAlgorithm):
                 subtree_filter = incoming
             if not subtree_filter:
                 pruned_subtrees += 1
-                self.tracer.emit(state.filter_arrival, node_id, "filter-pruned")
+                if reg.enabled:
+                    reg.counter("filter_pruned_subtrees_total", protocol=self.name).inc()
+                self.tracer.emit(state.filter_arrival, node_id, FILTER_PRUNED)
                 continue
             payload_bytes = self._filter_bytes(fmt, subtree_filter)
             channel.broadcast(node_id, awake_children, payload_bytes, PHASE_FILTER)
             broadcasts += 1
             self.tracer.emit(
-                state.filter_arrival, node_id, "filter-broadcast",
+                state.filter_arrival, node_id, FILTER_BROADCAST,
                 points=len(subtree_filter), bytes=payload_bytes,
                 children=len(awake_children),
             )
             arrival = state.filter_arrival + channel.last_send_latency_s
+            last_arrival = max(last_arrival, arrival)
             for child in awake_children:
                 states[child].filter_received = subtree_filter
                 states[child].filter_arrival = arrival
         details["filter_broadcasts"] = float(broadcasts)
         details["filter_pruned_subtrees"] = float(pruned_subtrees)
+        return last_arrival
 
     # -- step 2 --------------------------------------------------------------------
 
@@ -438,7 +519,7 @@ class SensJoin(JoinAlgorithm):
             if matched:
                 senders += 1
                 self.tracer.emit(
-                    children_finish, node_id, "final-send", tuples=len(matched)
+                    children_finish, node_id, FINAL_SEND, tuples=len(matched)
                 )
             records.extend(matched)
             payload += fmt.full_tuples_bytes(len(matched))

@@ -1,0 +1,49 @@
+"""Unified observability: metrics registry, phase spans, JSONL trace export.
+
+The paper's evaluation (Figures 8–14) is an accounting argument — protocols
+are compared by per-phase bytes, messages and per-node energy.  This package
+makes that accounting a first-class, exportable output of every simulation
+instead of something recomputed ad hoc from ``TransmissionStats``:
+
+- :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` instruments
+  keyed by name + labels, with a free no-op default.
+- :mod:`repro.obs.telemetry` — the :class:`Telemetry` handle (tracer +
+  registry + simulated-time clock) and phase-span context managers.
+- :mod:`repro.obs.export` — versioned JSONL serialisation that round-trips
+  back into :class:`~repro.sim.trace.TraceEvent` objects.
+- ``python -m repro.obs`` — ``record``/``summary``/``grep``/``timeline``/
+  ``energy-breakdown`` over an exported trace.
+
+Telemetry is off by default everywhere (:data:`NULL_TELEMETRY`); enabling it
+never changes simulation outcomes, only observes them.  See
+``docs/observability.md``.
+"""
+
+from .export import SCHEMA_VERSION, TraceLog, read_jsonl, write_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .telemetry import NULL_TELEMETRY, Span, Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Telemetry",
+    "Span",
+    "NULL_TELEMETRY",
+    "TraceLog",
+    "read_jsonl",
+    "write_jsonl",
+    "SCHEMA_VERSION",
+]

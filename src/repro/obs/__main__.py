@@ -1,0 +1,386 @@
+"""Query and report over exported telemetry traces.
+
+::
+
+    python -m repro.obs record --nodes 50 --out trace.jsonl   # produce one
+    python -m repro.obs summary trace.jsonl                   # what happened
+    python -m repro.obs grep trace.jsonl --kind link-retx     # find events
+    python -m repro.obs timeline trace.jsonl                  # who, when
+    python -m repro.obs energy-breakdown trace.jsonl          # where it went
+
+``record`` runs one traced snapshot query on a fresh deployment at the
+paper's density and writes the JSONL export (schema in
+``docs/observability.md``); every other subcommand is a pure reader and
+works on any export, including ones produced programmatically with
+:func:`repro.obs.write_jsonl`.
+
+``energy-breakdown`` is the accounting cross-check: per phase it sums the
+measured energy counters and independently *derives* the energy from the
+packet/byte counters and the affine radio constants recorded in the trace
+header — the two must agree to float precision, a property the test suite
+enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .export import TraceLog, read_jsonl, write_jsonl
+from .metrics import MetricsRegistry
+
+#: Phase ordering for report tables (protocol order, then anything else).
+_PHASE_ORDER = [
+    "query-dissemination",
+    "join-attribute-collection",
+    "filter-dissemination",
+    "final-result",
+    "external-collection",
+]
+
+
+def _phase_sort_key(phase: str) -> Tuple[int, str]:
+    try:
+        return (_PHASE_ORDER.index(phase), phase)
+    except ValueError:
+        return (len(_PHASE_ORDER), phase)
+
+
+def _phases_in(reg: MetricsRegistry) -> List[str]:
+    phases = set()
+    for inst in reg:
+        labels = dict(inst.labels)
+        if "phase" in labels:
+            phases.add(labels["phase"])
+    return sorted(phases, key=_phase_sort_key)
+
+
+def _format_table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(header[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+# -- record ------------------------------------------------------------------
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from ..bench.workloads import build_scenario, ratio_query_builder
+    from ..joins.runner import run_snapshot
+    from .telemetry import Telemetry
+
+    scenario = build_scenario(
+        node_count=args.nodes, seed=args.seed, loss_rate=args.loss
+    )
+    # A fixed tail threshold rather than a calibrated one: `record` must be
+    # cheap and self-contained (no calibration bisection), and any sensible
+    # selectivity exercises all three phases.
+    query = ratio_query_builder(1, 3)(args.threshold)
+    telemetry = Telemetry.capture(capacity=args.ring)
+    outcome = run_snapshot(
+        scenario.network,
+        scenario.world,
+        query,
+        args.algorithm,
+        tree=scenario.tree,
+        tree_seed=scenario.seed,
+        disseminate_query=True,
+        telemetry=telemetry,
+    )
+    model = scenario.network.energy_model
+    meta = {
+        "generator": "repro.obs record",
+        "nodes": scenario.node_count,
+        "seed": args.seed,
+        "loss_rate": args.loss,
+        "algorithm": outcome.algorithm,
+        "threshold": args.threshold,
+        "max_packet_bytes": scenario.network.packet_format.max_packet_bytes,
+        "energy_model": {
+            "tx_per_packet": model.tx_per_packet,
+            "tx_per_byte": model.tx_per_byte,
+            "rx_per_packet": model.rx_per_packet,
+            "rx_per_byte": model.rx_per_byte,
+        },
+        "result_matches": outcome.result.match_count,
+        "response_time_s": outcome.response_time_s,
+        "total_energy_joules": scenario.network.total_energy(),
+    }
+    lines = write_jsonl(
+        args.out, tracer=telemetry.tracer, registry=telemetry.registry, meta=meta
+    )
+    print(
+        f"wrote {args.out}: {len(telemetry.tracer)} events, "
+        f"{len(telemetry.registry)} instruments, {lines} lines"
+    )
+    return 0
+
+
+# -- summary -----------------------------------------------------------------
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    log = read_jsonl(args.trace)
+    meta = log.meta
+    print(f"trace {args.trace} (schema {log.schema})")
+    if meta:
+        interesting = [
+            "generator", "nodes", "seed", "loss_rate", "algorithm",
+            "result_matches", "response_time_s", "total_energy_joules",
+        ]
+        parts = [f"{k}={meta[k]}" for k in interesting if k in meta]
+        if parts:
+            print("  " + ", ".join(parts))
+    print(f"{len(log.events)} events, {len(log.metrics)} metric samples", end="")
+    print(f", {log.dropped} dropped (ring overflow)" if log.dropped else "")
+
+    counts = Counter(event.kind for event in log.events)
+    if counts:
+        print("\nevents by kind:")
+        from ..bench.ascii_viz import render_histogram
+
+        entries = [(kind, float(count)) for kind, count in counts.most_common()]
+        print(render_histogram(entries, width=40))
+
+    spans = [e for e in log.events if e.kind == "span-end"]
+    if spans:
+        print("\nphase spans:")
+        rows = []
+        for event in spans:
+            detail = event.detail
+            rows.append([
+                str(detail.get("span", "?")),
+                str(event.node_id),
+                f"{event.time - float(detail.get('duration_s', 0.0)):.3f}",
+                f"{event.time:.3f}",
+                f"{float(detail.get('duration_s', 0.0)):.3f}",
+                "yes" if detail.get("ok", True) else "NO",
+            ])
+        print(_format_table(["span", "node", "start", "end", "duration_s", "ok"], rows))
+
+    reg = log.registry()
+    phases = _phases_in(reg)
+    if phases:
+        print("\nper-phase traffic:")
+        rows = []
+        for phase in phases:
+            rows.append([
+                phase,
+                f"{reg.total('tx_packets_total', phase=phase):.0f}",
+                f"{reg.total('tx_bytes_total', phase=phase):.0f}",
+                f"{reg.total('retx_packets_total', phase=phase):.0f}",
+                f"{reg.total('energy_joules_total', phase=phase):.3f}",
+            ])
+        print(_format_table(
+            ["phase", "tx pkts", "tx bytes", "retx pkts", "energy J"], rows
+        ))
+    return 0
+
+
+# -- grep --------------------------------------------------------------------
+
+
+def _cmd_grep(args: argparse.Namespace) -> int:
+    log = read_jsonl(args.trace)
+    shown = 0
+    for event in log.events:
+        if args.kind is not None and event.kind != args.kind:
+            continue
+        if args.node is not None and event.node_id != args.node:
+            continue
+        if args.since is not None and event.time < args.since:
+            continue
+        if args.until is not None and event.time > args.until:
+            continue
+        print(event)
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            print(f"... (limit {args.limit} reached)")
+            break
+    if shown == 0:
+        print("(no matching events)")
+    return 0
+
+
+# -- timeline ----------------------------------------------------------------
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from ..bench.ascii_viz import render_timeline
+
+    log = read_jsonl(args.trace)
+    events = log.events
+    if args.kind is not None:
+        events = [e for e in events if e.kind == args.kind]
+    label = args.kind or "all kinds"
+    print(f"node activity ({label}, {len(events)} events):")
+    print(render_timeline(
+        [(e.time, e.node_id) for e in events], width=args.width, height=args.height
+    ))
+    return 0
+
+
+# -- energy-breakdown --------------------------------------------------------
+
+
+def _derived_phase_energy(
+    reg: MetricsRegistry, phase: str, model: Dict[str, float]
+) -> float:
+    """Energy a phase *should* have cost under the affine radio model."""
+    tx_pk = reg.total("tx_packets_total", phase=phase)
+    tx_by = reg.total("tx_bytes_total", phase=phase)
+    rx_pk = reg.total("rx_packets_total", phase=phase)
+    rx_by = reg.total("rx_bytes_total", phase=phase)
+    retx_pk = reg.total("retx_packets_total", phase=phase)
+    retx_by = reg.total("retx_bytes_total", phase=phase)
+    return (
+        tx_pk * model["tx_per_packet"]
+        + tx_by * model["tx_per_byte"]
+        + rx_pk * model["rx_per_packet"]
+        + rx_by * model["rx_per_byte"]
+        + retx_pk * model["tx_per_packet"]
+        + retx_by * model["tx_per_byte"]
+    )
+
+
+def _cmd_energy_breakdown(args: argparse.Namespace) -> int:
+    log = read_jsonl(args.trace)
+    reg = log.registry()
+    phases = _phases_in(reg)
+    if not phases:
+        print("trace has no per-phase counters (was it recorded with telemetry?)")
+        return 1
+    model = log.meta.get("energy_model")
+    rows = []
+    total_measured = 0.0
+    worst_delta = 0.0
+    for phase in phases:
+        measured = reg.total("energy_joules_total", phase=phase)
+        total_measured += measured
+        row = [
+            phase,
+            f"{reg.total('tx_packets_total', phase=phase):.0f}",
+            f"{reg.total('tx_bytes_total', phase=phase):.0f}",
+            f"{reg.total('rx_bytes_total', phase=phase):.0f}",
+            f"{reg.total('retx_packets_total', phase=phase):.0f}",
+            f"{measured:.6f}",
+        ]
+        if model is not None:
+            derived = _derived_phase_energy(reg, phase, model)
+            delta = abs(measured - derived)
+            worst_delta = max(worst_delta, delta)
+            row.append(f"{derived:.6f}")
+            row.append(f"{delta:.2e}")
+        rows.append(row)
+    header = ["phase", "tx pkts", "tx bytes", "rx bytes", "retx pkts", "energy J"]
+    if model is not None:
+        header += ["derived J", "|delta|"]
+    print(_format_table(header, rows))
+    print(f"\ntotal measured energy: {total_measured:.6f} J")
+    if "total_energy_joules" in log.meta:
+        ledger_total = float(log.meta["total_energy_joules"])
+        print(f"ledger total (from meta): {ledger_total:.6f} J "
+              f"(|delta| {abs(ledger_total - total_measured):.2e})")
+    if model is not None:
+        tolerance = max(1e-9, 1e-9 * max(total_measured, 1.0))
+        if worst_delta > tolerance:
+            print(
+                f"RECONCILIATION FAILED: worst per-phase |delta| {worst_delta:.2e} "
+                f"exceeds {tolerance:.2e}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"reconciled: worst per-phase |delta| {worst_delta:.2e}")
+    else:
+        print("(no energy_model in trace meta; derivation check skipped)")
+    from ..bench.ascii_viz import render_histogram
+
+    print("\nenergy by phase:")
+    entries = [
+        (phase, reg.total("energy_joules_total", phase=phase)) for phase in phases
+    ]
+    print(render_histogram(entries, width=40))
+    return 0
+
+
+# -- argument parsing --------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect exported telemetry traces (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="run one traced snapshot and export it")
+    p_record.add_argument("--nodes", type=int, default=50)
+    p_record.add_argument("--seed", type=int, default=0)
+    p_record.add_argument("--loss", type=float, default=0.0,
+                          help="per-link loss rate (0 disables the ARQ path)")
+    p_record.add_argument("--algorithm", default="sens-join",
+                          choices=["sens-join", "external-join"])
+    p_record.add_argument("--threshold", type=float, default=6.0,
+                          help="tail threshold of the Q1-style join condition")
+    p_record.add_argument("--ring", type=int, default=None,
+                          help="bound the tracer to the most recent N events")
+    p_record.add_argument("--out", default="trace.jsonl")
+    p_record.set_defaults(func=_cmd_record)
+
+    p_summary = sub.add_parser("summary", help="header, event and span overview")
+    p_summary.add_argument("trace")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_grep = sub.add_parser("grep", help="filter events by kind/node/time")
+    p_grep.add_argument("trace")
+    p_grep.add_argument("--kind")
+    p_grep.add_argument("--node", type=int)
+    p_grep.add_argument("--since", type=float)
+    p_grep.add_argument("--until", type=float)
+    p_grep.add_argument("--limit", type=int)
+    p_grep.set_defaults(func=_cmd_grep)
+
+    p_timeline = sub.add_parser("timeline", help="ASCII node-activity timeline")
+    p_timeline.add_argument("trace")
+    p_timeline.add_argument("--kind")
+    p_timeline.add_argument("--width", type=int, default=72)
+    p_timeline.add_argument("--height", type=int, default=20)
+    p_timeline.set_defaults(func=_cmd_timeline)
+
+    p_energy = sub.add_parser(
+        "energy-breakdown",
+        help="per-phase byte/energy table with model reconciliation",
+    )
+    p_energy.add_argument("trace")
+    p_energy.set_defaults(func=_cmd_energy_breakdown)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        if isinstance(error, BrokenPipeError):
+            # Output was piped into something that stopped reading (`| head`).
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            return 0
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

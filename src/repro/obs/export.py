@@ -1,0 +1,274 @@
+"""Versioned JSONL export/import of traces and metrics.
+
+One telemetry capture serialises to a JSON-Lines file with four record
+types, discriminated by the ``record`` field (full schema in
+``docs/observability.md``):
+
+``header``
+    First line.  ``{"record": "header", "schema": 1, "meta": {...}}`` —
+    ``meta`` carries free-form run provenance (node count, seeds, energy
+    model constants) used by the report CLI.
+``event``
+    One :class:`~repro.sim.trace.TraceEvent`:
+    ``{"record": "event", "time": t, "node": id, "kind": k, "detail": {...}}``.
+    Events appear in emission order.
+``metric``
+    One registry sample: ``{"record": "metric", "metric": kind,
+    "name": n, "labels": {...}, "value": v}`` where ``value`` is a scalar
+    (counter/gauge) or a ``{count, sum, min, max}`` object (histogram).
+``end``
+    Last line, a trailer with integrity counts:
+    ``{"record": "end", "events": N, "metrics": M, "dropped": D}``.
+    ``dropped`` is non-zero when a bounded :class:`~repro.sim.trace.RingTracer`
+    overflowed — the export is honest about truncation.
+
+Round-trip contract: ``read_jsonl(write_jsonl(t))`` reconstructs every
+event and metric sample with canonicalised detail values (tuples become
+lists, sets become sorted lists — JSON has no tuple/set), and re-exporting
+the reconstruction is byte-identical.  All JSON is written canonically
+(sorted keys, minimal separators) so exports diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, TextIO, Union
+
+from ..errors import TraceFormatError
+from ..sim.trace import RingTracer, TraceEvent, Tracer
+from .metrics import MetricSample, MetricsRegistry
+
+__all__ = ["SCHEMA_VERSION", "TraceLog", "write_jsonl", "read_jsonl", "jsonify_detail"]
+
+SCHEMA_VERSION = 1
+
+
+def jsonify_detail(value: Any) -> Any:
+    """Canonicalise one detail value for JSON.
+
+    JSON cannot represent tuples or sets; tuples become lists and sets
+    become sorted lists (sorted by their canonical JSON text, so mixed-type
+    sets still order deterministically).  Anything non-JSON-scalar falls
+    back to ``str``.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonify_detail(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        canon = [jsonify_detail(item) for item in value]
+        return sorted(canon, key=lambda item: json.dumps(item, sort_keys=True, default=str))
+    if isinstance(value, Mapping):
+        return {str(key): jsonify_detail(val) for key, val in value.items()}
+    return str(value)
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass
+class TraceLog:
+    """A parsed export: header metadata, events, and metric samples."""
+
+    schema: int = SCHEMA_VERSION
+    meta: dict[str, Any] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    metrics: list[MetricSample] = field(default_factory=list)
+    #: Events the producer dropped (RingTracer overflow) before export.
+    dropped: int = 0
+
+    def registry(self) -> MetricsRegistry:
+        """Rebuild a :class:`MetricsRegistry` holding the metric samples."""
+        reg = MetricsRegistry()
+        for sample in self.metrics:
+            if sample.kind == "counter":
+                reg.counter(sample.name, **sample.labels).inc(sample.value)
+            elif sample.kind == "gauge":
+                reg.gauge(sample.name, **sample.labels).set(sample.value)
+            elif sample.kind == "histogram":
+                hist = reg.histogram(sample.name, **sample.labels)
+                hist.count = sample.value["count"]
+                hist.sum = sample.value["sum"]
+                hist.min = sample.value["min"]
+                hist.max = sample.value["max"]
+            else:  # pragma: no cover - read_jsonl validates kinds
+                raise TraceFormatError(f"unknown metric kind {sample.kind!r}")
+        return reg
+
+
+def write_jsonl(
+    path_or_file: Union[str, Path, TextIO],
+    events: Iterable[TraceEvent] = (),
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+    dropped: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> int:
+    """Write one telemetry capture as JSONL; returns the line count.
+
+    ``tracer`` is a convenience: a recording tracer supplies both the
+    events and (for :class:`RingTracer`) the dropped count, overriding the
+    ``events``/``dropped`` arguments.
+    """
+    if tracer is not None:
+        events = list(getattr(tracer, "events", ()))
+        if isinstance(tracer, RingTracer):
+            dropped = tracer.dropped
+    samples = registry.samples() if registry is not None else []
+
+    def _write(fh: TextIO) -> int:
+        lines = 0
+        fh.write(
+            _dumps(
+                {
+                    "record": "header",
+                    "schema": SCHEMA_VERSION,
+                    "meta": jsonify_detail(dict(meta or {})),
+                }
+            )
+            + "\n"
+        )
+        lines += 1
+        n_events = 0
+        for event in events:
+            fh.write(
+                _dumps(
+                    {
+                        "record": "event",
+                        "time": event.time,
+                        "node": event.node_id,
+                        "kind": event.kind,
+                        "detail": jsonify_detail(event.detail),
+                    }
+                )
+                + "\n"
+            )
+            n_events += 1
+        lines += n_events
+        for sample in samples:
+            fh.write(
+                _dumps(
+                    {
+                        "record": "metric",
+                        "metric": sample.kind,
+                        "name": sample.name,
+                        "labels": jsonify_detail(sample.labels),
+                        "value": jsonify_detail(sample.value),
+                    }
+                )
+                + "\n"
+            )
+        lines += len(samples)
+        fh.write(
+            _dumps(
+                {
+                    "record": "end",
+                    "events": n_events,
+                    "metrics": len(samples),
+                    "dropped": dropped,
+                }
+            )
+            + "\n"
+        )
+        return lines + 1
+
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            return _write(fh)
+    return _write(path_or_file)
+
+
+def _require(obj: Mapping[str, Any], key: str, line_no: int) -> Any:
+    try:
+        return obj[key]
+    except KeyError:
+        raise TraceFormatError(f"line {line_no}: missing {key!r} field") from None
+
+
+def read_jsonl(path_or_file: Union[str, Path, TextIO]) -> TraceLog:
+    """Parse a JSONL export back into a :class:`TraceLog`.
+
+    Raises :class:`~repro.errors.TraceFormatError` on malformed input:
+    bad JSON, wrong schema version, unknown record types, or a trailer
+    whose counts disagree with the records actually read.
+    """
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "r", encoding="utf-8") as fh:
+            return _read(fh)
+    return _read(path_or_file)
+
+
+def _read(fh: TextIO) -> TraceLog:
+    log = TraceLog()
+    saw_header = False
+    trailer: Optional[dict[str, Any]] = None
+    for line_no, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if trailer is not None:
+            raise TraceFormatError(f"line {line_no}: records after the end trailer")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"line {line_no}: invalid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise TraceFormatError(f"line {line_no}: expected an object")
+        record = _require(obj, "record", line_no)
+        if line_no == 1 and record != "header":
+            raise TraceFormatError("line 1: expected a header record")
+        if record == "header":
+            if saw_header:
+                raise TraceFormatError(f"line {line_no}: duplicate header")
+            schema = _require(obj, "schema", line_no)
+            if schema != SCHEMA_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace schema {schema!r} (expected {SCHEMA_VERSION})"
+                )
+            log.schema = schema
+            log.meta = obj.get("meta", {})
+            saw_header = True
+        elif record == "event":
+            log.events.append(
+                TraceEvent(
+                    time=float(_require(obj, "time", line_no)),
+                    node_id=int(_require(obj, "node", line_no)),
+                    kind=str(_require(obj, "kind", line_no)),
+                    detail=obj.get("detail", {}),
+                )
+            )
+        elif record == "metric":
+            kind = _require(obj, "metric", line_no)
+            if kind not in ("counter", "gauge", "histogram"):
+                raise TraceFormatError(f"line {line_no}: unknown metric kind {kind!r}")
+            log.metrics.append(
+                MetricSample(
+                    kind=kind,
+                    name=str(_require(obj, "name", line_no)),
+                    labels=obj.get("labels", {}),
+                    value=_require(obj, "value", line_no),
+                )
+            )
+        elif record == "end":
+            trailer = obj
+        else:
+            raise TraceFormatError(f"line {line_no}: unknown record type {record!r}")
+    if not saw_header:
+        raise TraceFormatError("empty trace: no header record")
+    if trailer is None:
+        raise TraceFormatError("truncated trace: no end trailer")
+    if trailer.get("events") != len(log.events):
+        raise TraceFormatError(
+            f"trailer says {trailer.get('events')} events, read {len(log.events)}"
+        )
+    if trailer.get("metrics") != len(log.metrics):
+        raise TraceFormatError(
+            f"trailer says {trailer.get('metrics')} metrics, read {len(log.metrics)}"
+        )
+    log.dropped = int(trailer.get("dropped", 0))
+    return log

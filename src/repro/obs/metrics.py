@@ -1,0 +1,259 @@
+"""In-process metrics: counters, gauges and histograms with labels.
+
+The registry is the numeric half of the telemetry layer (trace events are
+the narrative half).  Instruments are keyed by ``(kind, name, labels)``
+where labels are an ordinary keyword mapping (``phase="filter-dissemination",
+node=17``), mirroring the Prometheus data model without any of its wire
+format.  Protocol code asks the registry for an instrument each time —
+lookups are dict hits, and a disabled registry (:class:`NullRegistry`, the
+default everywhere) hands back a shared no-op instrument so the hot paths
+cost one attribute check when telemetry is off.
+
+Histogram instruments do not bucket: simulations are small enough to keep
+``count/sum/min/max``, which is all the reporting CLI needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+LabelsKey = Tuple[Tuple[str, Any], ...]
+
+
+def _labels_key(labels: Mapping[str, Any]) -> LabelsKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (packets sent, cache hits, ...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (active spans, queue depth, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Distribution summary: ``count``, ``sum``, ``min``, ``max``."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelsKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricSample:
+    """One exported data point; ``value`` is a scalar or a histogram dict."""
+
+    __slots__ = ("kind", "name", "labels", "value")
+
+    def __init__(self, kind: str, name: str, labels: Dict[str, Any], value: Any):
+        self.kind = kind
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricSample({self.kind}, {self.name}, {self.labels}, {self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricSample):
+            return NotImplemented
+        return (self.kind, self.name, self.labels, self.value) == (
+            other.kind,
+            other.name,
+            other.labels,
+            other.value,
+        )
+
+
+class MetricsRegistry:
+    """Creates and caches instruments; iterable for export.
+
+    ``enabled`` is ``True`` here and ``False`` on :class:`NullRegistry`; hot
+    paths that would do real work to *compute* a metric value (rather than
+    just increment) guard on it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, str, LabelsKey], Any] = {}
+
+    def _get(self, cls: type, name: str, labels: Mapping[str, Any]) -> Any:
+        key = (cls.kind, name, _labels_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._instruments.values())
+
+    def samples(self) -> list[MetricSample]:
+        """All instruments as export records, deterministically ordered."""
+        out: list[MetricSample] = []
+        for (kind, name, labels_key), inst in sorted(
+            self._instruments.items(), key=lambda item: _sort_key(item[0])
+        ):
+            labels = dict(labels_key)
+            if kind == "histogram":
+                value: Any = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "min": inst.min,
+                    "max": inst.max,
+                }
+            else:
+                value = inst.value
+            out.append(MetricSample(kind, name, labels, value))
+        return out
+
+    def value(self, kind: str, name: str, **labels: Any) -> Any:
+        """Current value of one instrument, or ``None`` if never touched."""
+        inst = self._instruments.get((kind, name, _labels_key(labels)))
+        if inst is None:
+            return None
+        if kind == "histogram":
+            return {"count": inst.count, "sum": inst.sum, "min": inst.min, "max": inst.max}
+        return inst.value
+
+    def total(self, name: str, **label_filter: Any) -> float:
+        """Sum of every counter/gauge called ``name`` whose labels match.
+
+        ``label_filter`` entries must all be present and equal on the
+        instrument's labels; extra labels on the instrument are fine.  This
+        is the aggregation the reconciliation tests and the CLI tables use
+        (e.g. total tx bytes for ``phase="filter-dissemination"`` across all
+        nodes).
+        """
+        total = 0.0
+        wanted = sorted(label_filter.items())
+        for (kind, inst_name, labels_key), inst in self._instruments.items():
+            if inst_name != name or kind == "histogram":
+                continue
+            labels = dict(labels_key)
+            if all(labels.get(k) == v for k, v in wanted):
+                total += inst.value
+        return total
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    kind = "null"
+    name = ""
+    labels: LabelsKey = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every lookup returns a shared no-op instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+#: Shared disabled registry; safe because it holds no state.
+NULL_REGISTRY = NullRegistry()
+
+
+def _sort_key(key: Tuple[str, str, LabelsKey]) -> Tuple[str, str, str]:
+    kind, name, labels_key = key
+    return (name, kind, repr(labels_key))

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .kernel import Environment, Process
 from .network import Network
 from .node import BASE_STATION_ID
@@ -179,11 +180,13 @@ class FaultInjector:
         plan: FaultPlan,
         tracer: Optional[Tracer] = None,
         on_node_crash: Optional[Callable[[int], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.env = env
         self.network = network
         self.plan = plan
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.on_node_crash = on_node_crash
         self.applied: List[Fault] = []
         self._active_bursts: List[float] = []
@@ -216,6 +219,9 @@ class FaultInjector:
         else:
             self._start_burst(fault)
         self.applied.append(fault)
+        reg = self.telemetry.registry
+        if reg.enabled:
+            reg.counter("faults_injected_total", kind=fault.kind).inc()
         self.tracer.emit(
             self.env.now,
             fault.node_a,

@@ -152,6 +152,7 @@ class Network:
         self.radio_range_m = radio_range_m
         self.packet_format = packet_format or PacketFormat()
         model = energy_model or EnergyModel()
+        self.energy_model = model
         for node in self.nodes.values():
             node.ledger = EnergyLedger(_model=model)
         self.stats = TransmissionStats()

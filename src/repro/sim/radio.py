@@ -60,9 +60,10 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from .. import constants
 from ..errors import SimulationError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .energy import EnergyLedger
 from .stats import TransmissionStats
-from .trace import LINK_DEAD, NullTracer, Tracer
+from .trace import LINK_DEAD, LINK_RETX, NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Environment
@@ -182,6 +183,7 @@ class Channel:
         arq_seed: int = 0,
         tracer: Optional[Tracer] = None,
         link_up: Optional[Callable[[int, int], bool]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.packet_format = packet_format
         self.stats = stats
@@ -192,6 +194,9 @@ class Channel:
         self.arq = arq or ArqConfig()
         # Not `tracer or ...`: an empty ListTracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Metrics sink for per-node/per-phase traffic and energy counters;
+        #: disabled by default so the packet hot path pays one bool check.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: ``(sender, receiver) -> bool``; None means every link is up.
         self.link_up = link_up
         self.log: list[Transmission] = []
@@ -253,6 +258,24 @@ class Channel:
     def _now(self) -> float:
         return self.env.now if self.env is not None else 0.0
 
+    def _count_tx(
+        self, sender: int, phase: str, packets: int, payload_bytes: int, cost: float
+    ) -> None:
+        reg = self.telemetry.registry
+        if reg.enabled:
+            reg.counter("tx_packets_total", node=sender, phase=phase).inc(packets)
+            reg.counter("tx_bytes_total", node=sender, phase=phase).inc(payload_bytes)
+            reg.counter("energy_joules_total", node=sender, phase=phase, op="tx").inc(cost)
+
+    def _count_rx(
+        self, receiver: int, phase: str, packets: int, payload_bytes: int, cost: float
+    ) -> None:
+        reg = self.telemetry.registry
+        if reg.enabled:
+            reg.counter("rx_packets_total", node=receiver, phase=phase).inc(packets)
+            reg.counter("rx_bytes_total", node=receiver, phase=phase).inc(payload_bytes)
+            reg.counter("energy_joules_total", node=receiver, phase=phase, op="rx").inc(cost)
+
     def _charge_retries(
         self,
         sender: int,
@@ -264,15 +287,20 @@ class Channel:
         """Charge/record ARQ retries; returns the extra latency incurred."""
         if retx_packets == 0:
             return 0.0
-        self._ledger(sender).charge_retx(retx_bytes, retx_packets)
+        cost = self._ledger(sender).charge_retx(retx_bytes, retx_packets)
         self.stats.record_retx(sender, phase, retx_packets, retx_bytes)
+        reg = self.telemetry.registry
+        if reg.enabled:
+            reg.counter("retx_packets_total", node=sender, phase=phase).inc(retx_packets)
+            reg.counter("retx_bytes_total", node=sender, phase=phase).inc(retx_bytes)
+            reg.counter("energy_joules_total", node=sender, phase=phase, op="retx").inc(cost)
         arq_delay = (
             retx_packets * self.hop_latency_s
             + self.arq.backoff_delay_s(retx_packets)
         )
         self.total_arq_delay_s += arq_delay
         self.tracer.emit(
-            self._now(), sender, "link-retx",
+            self._now(), sender, LINK_RETX,
             receivers=receivers, phase=phase, retries=retx_packets,
             bytes=retx_bytes,
         )
@@ -307,11 +335,13 @@ class Channel:
                 retries = self._draw_retries(p_loss)
                 retx_packets += retries
                 retx_bytes += retries * size
-        self._ledger(sender).charge_tx(payload_bytes, packets)
+        tx_cost = self._ledger(sender).charge_tx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
+        self._count_tx(sender, phase, packets, payload_bytes, tx_cost)
         if delivered:
-            self._ledger(receiver).charge_rx(payload_bytes, packets)
+            rx_cost = self._ledger(receiver).charge_rx(payload_bytes, packets)
             self.stats.record_rx(receiver, phase, packets, payload_bytes)
+            self._count_rx(receiver, phase, packets, payload_bytes, rx_cost)
         arq_delay = self._charge_retries(
             sender, phase, retx_packets, retx_bytes, (receiver,)
         )
@@ -369,11 +399,13 @@ class Channel:
                 retries = max(self._draw_retries(p_loss) for p_loss in losses)
                 retx_packets += retries
                 retx_bytes += retries * size
-        self._ledger(sender).charge_tx(payload_bytes, packets)
+        tx_cost = self._ledger(sender).charge_tx(payload_bytes, packets)
         self.stats.record_tx(sender, phase, packets, payload_bytes)
+        self._count_tx(sender, phase, packets, payload_bytes, tx_cost)
         for receiver in reached:
-            self._ledger(receiver).charge_rx(payload_bytes, packets)
+            rx_cost = self._ledger(receiver).charge_rx(payload_bytes, packets)
             self.stats.record_rx(receiver, phase, packets, payload_bytes)
+            self._count_rx(receiver, phase, packets, payload_bytes, rx_cost)
         arq_delay = self._charge_retries(
             sender, phase, retx_packets, retx_bytes, receiver_ids
         )

@@ -6,11 +6,18 @@ treecut decision, filter pruning step and proxy action can be recorded with
 the simulated time and node id, and then filtered after the run.
 
 Tracing is off by default (a :class:`NullTracer` swallows everything at
-near-zero cost); tests and examples opt in with :class:`ListTracer`.
+near-zero cost); tests and examples opt in with :class:`ListTracer`, and
+long-running simulations with the bounded :class:`RingTracer`.
+
+Event kinds are registered constants (see :data:`KNOWN_EVENT_KINDS`): every
+kind the substrate or a protocol emits is declared here, so exported traces
+have a closed, documented vocabulary (``docs/observability.md``) and a test
+can grep-proof the source tree against stray free-form strings.
 """
 
 from __future__ import annotations
 
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional
 
@@ -19,15 +26,27 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "ListTracer",
+    "RingTracer",
+    "KNOWN_EVENT_KINDS",
+    "register_event_kind",
     "FAULT_INJECT",
     "PHASE_TIMEOUT",
     "TREE_REPAIR",
     "LINK_DEAD",
+    "LINK_RETX",
+    "TREECUT_EXIT",
+    "PROXY_STORE",
+    "SUBTREE_STORE",
+    "SUBTREE_OVERFLOW",
+    "SEND_JOIN_ATTS",
+    "FILTER_BROADCAST",
+    "FILTER_PRUNED",
+    "FINAL_SEND",
+    "SPAN_START",
+    "SPAN_END",
 ]
 
-# Well-known event kinds of the fault/recovery subsystem (§IV-F).  Kinds are
-# free-form strings; these four are emitted by the substrate itself and are
-# the ones tests and analyses grep for.
+# Well-known event kinds of the fault/recovery subsystem (§IV-F).
 #: A scheduled fault was applied to the live topology.
 FAULT_INJECT = "fault-inject"
 #: The base station's watchdog gave up on a protocol phase.
@@ -37,6 +56,96 @@ TREE_REPAIR = "tree-repair"
 #: A send failed because the link (or its endpoint) is gone; the ARQ budget
 #: was spent without an ACK.
 LINK_DEAD = "link-dead"
+#: The link-layer ARQ retransmitted on a lossy (but live) link.
+LINK_RETX = "link-retx"
+
+# SENS-Join protocol events (§IV; emitted by repro.joins.sensjoin).
+#: A node forwarded complete tuples within ``D_max`` and left the query.
+TREECUT_EXIT = "treecut-exit"
+#: A node stored complete tuples on behalf of cut-off children (proxy role).
+PROXY_STORE = "proxy-store"
+#: A node kept its children's join-attribute points (SubtreeJoinAtts).
+SUBTREE_STORE = "subtree-store"
+#: SubtreeJoinAtts exceeded the memory budget; the node cannot prune.
+SUBTREE_OVERFLOW = "subtree-overflow"
+#: A node sent its quantized join-attribute set upward (step 1a).
+SEND_JOIN_ATTS = "send-join-atts"
+#: A node broadcast the (pruned) join filter to its children (step 1b).
+FILTER_BROADCAST = "filter-broadcast"
+#: The pruned filter was empty: an entire subtree never hears it.
+FILTER_PRUNED = "filter-pruned"
+#: A node shipped matching complete tuples upward (step 2).
+FINAL_SEND = "final-send"
+
+# Telemetry span boundaries (emitted by repro.obs.telemetry).
+#: A phase span opened (detail carries ``span`` and labels).
+SPAN_START = "span-start"
+#: A phase span closed (detail carries ``span`` and ``duration_s``).
+SPAN_END = "span-end"
+
+#: Every registered event kind.  :func:`register_event_kind` extends the set
+#: for downstream protocols; traces must only contain registered kinds.
+KNOWN_EVENT_KINDS: set[str] = {
+    FAULT_INJECT,
+    PHASE_TIMEOUT,
+    TREE_REPAIR,
+    LINK_DEAD,
+    LINK_RETX,
+    TREECUT_EXIT,
+    PROXY_STORE,
+    SUBTREE_STORE,
+    SUBTREE_OVERFLOW,
+    SEND_JOIN_ATTS,
+    FILTER_BROADCAST,
+    FILTER_PRUNED,
+    FINAL_SEND,
+    SPAN_START,
+    SPAN_END,
+}
+
+
+def register_event_kind(kind: str) -> str:
+    """Register a new event kind; returns it (usable as a constant).
+
+    Idempotent.  Downstream protocol extensions call this at import time so
+    their kinds are part of the closed vocabulary that
+    :mod:`repro.obs.export` documents and tests enforce.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"event kind must be a non-empty string, got {kind!r}")
+    KNOWN_EVENT_KINDS.add(kind)
+    return kind
+
+
+#: Longest rendered detail value in :meth:`TraceEvent.__str__` before the
+#: representation is elided.
+_DETAIL_REPR_LIMIT = 48
+
+
+def _render_detail_value(value: Any) -> str:
+    """Stable, bounded rendering of one detail value.
+
+    Scalars print as themselves; containers print as a *sorted* (where
+    unordered) ``repr`` so two equal events always render identically, with
+    the representation elided beyond :data:`_DETAIL_REPR_LIMIT` characters.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        text = str(value)
+    elif isinstance(value, (set, frozenset)):
+        text = "{" + ", ".join(repr(item) for item in sorted(value, key=repr)) + "}"
+    elif isinstance(value, dict):
+        text = (
+            "{"
+            + ", ".join(
+                f"{key!r}: {val!r}" for key, val in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            )
+            + "}"
+        )
+    else:
+        text = repr(value)
+    if len(text) > _DETAIL_REPR_LIMIT:
+        text = text[: _DETAIL_REPR_LIMIT - 3] + "..."
+    return text
 
 
 @dataclass(frozen=True)
@@ -49,7 +158,10 @@ class TraceEvent:
     detail: dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
-        extra = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        extra = " ".join(
+            f"{key}={_render_detail_value(value)}"
+            for key, value in sorted(self.detail.items())
+        )
         return f"[t={self.time:9.3f}] node {self.node_id:4d} {self.kind} {extra}".rstrip()
 
 
@@ -68,15 +180,10 @@ class NullTracer(Tracer):
         """Do nothing."""
 
 
-class ListTracer(Tracer):
-    """Keeps every event in memory for later inspection."""
+class _RecordingTracer(Tracer):
+    """Shared query API over a concrete event container (list or ring)."""
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
-
-    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
-        """Append the event to :attr:`events`."""
-        self.events.append(TraceEvent(time, node_id, kind, detail))
+    events: Iterable[TraceEvent]
 
     def filter(
         self,
@@ -98,15 +205,46 @@ class ListTracer(Tracer):
         """The distinct event kinds seen so far."""
         return {event.kind for event in self.events}
 
-    def counts_by_kind(self) -> dict[str, int]:
+    def counts_by_kind(self) -> Counter:
         """Number of events per kind (quick protocol-activity summary)."""
-        counts: dict[str, int] = {}
-        for event in self.events:
-            counts[event.kind] = counts.get(event.kind, 0) + 1
-        return counts
+        return Counter(event.kind for event in self.events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.events)  # type: ignore[arg-type]
+
+
+class ListTracer(_RecordingTracer):
+    """Keeps every event in memory for later inspection."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(TraceEvent(time, node_id, kind, detail))
+
+
+class RingTracer(_RecordingTracer):
+    """Bounded tracer: keeps the most recent ``capacity`` events.
+
+    For long-running simulations where an unbounded :class:`ListTracer`
+    would grow without limit.  Overwritten events are counted in
+    :attr:`dropped` so exports can report the truncation honestly.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events discarded because the ring was full.
+        self.dropped = 0
+
+    def emit(self, time: float, node_id: int, kind: str, **detail: Any) -> None:
+        """Append the event, evicting the oldest when the ring is full."""
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(TraceEvent(time, node_id, kind, detail))

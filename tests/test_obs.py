@@ -1,0 +1,492 @@
+"""The telemetry layer: metrics, spans, JSONL export, CLI, reconciliation.
+
+Covers the three contracts `docs/observability.md` documents:
+
+* with telemetry disabled, protocols behave byte-identically;
+* the JSONL export round-trips losslessly (re-export == original);
+* with telemetry enabled, the traffic/energy counters reconcile exactly
+  against ``TransmissionStats`` and the energy ledgers.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.joins.runner import run_snapshot
+from repro.joins.sensjoin import (
+    PHASE_COLLECTION,
+    PHASE_FILTER,
+    PHASE_FINAL,
+    SensJoin,
+)
+from repro.errors import TraceFormatError
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    NullRegistry,
+    Telemetry,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.export import jsonify_detail
+from repro.sim.trace import (
+    KNOWN_EVENT_KINDS,
+    ListTracer,
+    RingTracer,
+    SPAN_END,
+    SPAN_START,
+    TraceEvent,
+)
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_create_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("tx", node=1).inc()
+        reg.counter("tx", node=2).inc(2)
+        assert reg.value("counter", "tx", node=1) == 1
+        assert reg.value("counter", "tx", node=2) == 2
+        assert len(reg) == 2
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("tx").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert reg.value("gauge", "depth") == 4
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3 and hist.sum == 6.0
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_total_sums_and_filters(self):
+        reg = MetricsRegistry()
+        reg.counter("tx", node=1, phase="a").inc(10)
+        reg.counter("tx", node=2, phase="a").inc(5)
+        reg.counter("tx", node=1, phase="b").inc(100)
+        assert reg.total("tx") == 115
+        assert reg.total("tx", phase="a") == 15
+        assert reg.total("tx", node=1) == 110
+        assert reg.total("tx", phase="missing") == 0
+
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_samples_deterministic_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", z=1).inc()
+        reg.histogram("a").observe(1.0)
+        names = [(s.name, s.kind) for s in reg.samples()]
+        assert names == sorted(names)
+
+    def test_null_registry_is_disabled_no_op(self):
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.counter("x", node=1).inc(5)
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.total("x") == 0.0
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+# -- spans ------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_emits_start_end_and_histogram(self):
+        tel = Telemetry.capture()
+        with tel.span("phase-x", node_id=3, start=1.0, proto="p") as sp:
+            sp.end = 4.0
+        kinds = [e.kind for e in tel.tracer]
+        assert kinds == [SPAN_START, SPAN_END]
+        end = tel.tracer.events[-1]
+        assert end.time == 4.0
+        assert end.detail["duration_s"] == 3.0
+        assert end.detail["ok"] is True and end.detail["proto"] == "p"
+        hist = tel.registry.value("histogram", "span_seconds", span="phase-x", proto="p")
+        assert hist == {"count": 1, "sum": 3.0, "min": 3.0, "max": 3.0}
+
+    def test_span_uses_clock_when_no_explicit_times(self):
+        now = [10.0]
+        tel = Telemetry.capture(clock=lambda: now[0])
+        with tel.span("tick"):
+            now[0] = 12.5
+        end = tel.tracer.events[-1]
+        assert end.detail["duration_s"] == 2.5
+
+    def test_span_clamps_backwards_end(self):
+        tel = Telemetry.capture()
+        with tel.span("weird", start=5.0) as sp:
+            sp.end = 3.0  # must not produce a negative duration
+        assert tel.tracer.events[-1].detail["duration_s"] == 0.0
+
+    def test_span_flags_exception_not_ok(self):
+        tel = Telemetry.capture()
+        with pytest.raises(RuntimeError):
+            with tel.span("doomed", start=0.0):
+                raise RuntimeError("boom")
+        end = tel.tracer.events[-1]
+        assert end.kind == SPAN_END and end.detail["ok"] is False
+
+    def test_label_mutation_visible_on_end_event(self):
+        tel = Telemetry.capture()
+        with tel.span("attempt", start=0.0, completed=False) as sp:
+            sp.labels["completed"] = True
+        assert tel.tracer.events[-1].detail["completed"] is True
+
+    def test_disabled_span_yields_but_emits_nothing(self):
+        with NULL_TELEMETRY.span("quiet", start=0.0) as sp:
+            sp.end = 9.0  # settable unconditionally
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_with_clock_shares_sinks(self):
+        tel = Telemetry.capture()
+        derived = tel.with_clock(lambda: 7.0)
+        assert derived.tracer is tel.tracer
+        assert derived.registry is tel.registry
+        with derived.span("shifted"):
+            pass
+        assert tel.tracer.events[0].time == 7.0
+
+
+# -- JSONL export -----------------------------------------------------------
+
+
+def _capture_with_data() -> Telemetry:
+    tel = Telemetry.capture()
+    tel.tracer.emit(0.5, 1, "treecut-exit", tuples=2)
+    tel.tracer.emit(1.0, 2, "subtree-store", points={3, 1}, path=(0, 2))
+    tel.registry.counter("tx_packets_total", node=1, phase="a").inc(4)
+    tel.registry.gauge("depth").set(2)
+    tel.registry.histogram("span_seconds", span="s").observe(0.25)
+    return tel
+
+def test_write_read_round_trip_is_byte_identical():
+    tel = _capture_with_data()
+    first = io.StringIO()
+    write_jsonl(first, tracer=tel.tracer, registry=tel.registry, meta={"nodes": 2})
+    log = read_jsonl(io.StringIO(first.getvalue()))
+    second = io.StringIO()
+    write_jsonl(
+        second,
+        events=log.events,
+        registry=log.registry(),
+        meta=log.meta,
+        dropped=log.dropped,
+    )
+    assert second.getvalue() == first.getvalue()
+
+
+def test_read_reconstructs_events_and_metrics():
+    tel = _capture_with_data()
+    buffer = io.StringIO()
+    lines = write_jsonl(buffer, tracer=tel.tracer, registry=tel.registry)
+    # header + 2 events + 3 metrics + trailer
+    assert lines == 7
+    log = read_jsonl(io.StringIO(buffer.getvalue()))
+    assert [e.kind for e in log.events] == ["treecut-exit", "subtree-store"]
+    # JSON has no sets/tuples: canonicalised to sorted list / list.
+    assert log.events[1].detail == {"points": [1, 3], "path": [0, 2]}
+    reg = log.registry()
+    assert reg.total("tx_packets_total") == 4
+    assert reg.value("gauge", "depth") == 2
+    assert reg.value("histogram", "span_seconds", span="s")["count"] == 1
+
+
+def test_ring_tracer_dropped_count_in_trailer():
+    tracer = RingTracer(capacity=2)
+    for i in range(5):
+        tracer.emit(float(i), i, "tick")
+    buffer = io.StringIO()
+    write_jsonl(buffer, tracer=tracer)
+    log = read_jsonl(io.StringIO(buffer.getvalue()))
+    assert len(log.events) == 2 and log.dropped == 3
+
+
+def test_jsonify_detail_canonical_forms():
+    assert jsonify_detail((1, 2)) == [1, 2]
+    assert jsonify_detail({3, 1, 2}) == [1, 2, 3]
+    assert jsonify_detail({"k": (1,)}) == {"k": [1]}
+    assert jsonify_detail(True) is True and jsonify_detail(None) is None
+    assert isinstance(jsonify_detail(object()), str)
+
+
+class TestMalformedTraces:
+    def _lines(self) -> list:
+        buffer = io.StringIO()
+        write_jsonl(buffer, events=[TraceEvent(0.0, 1, "tick", {})])
+        return buffer.getvalue().splitlines()
+
+    def _expect_error(self, text: str):
+        with pytest.raises(TraceFormatError):
+            read_jsonl(io.StringIO(text))
+
+    def test_missing_header(self):
+        self._expect_error("\n".join(self._lines()[1:]))
+
+    def test_missing_trailer(self):
+        self._expect_error("\n".join(self._lines()[:-1]))
+
+    def test_records_after_trailer(self):
+        lines = self._lines()
+        self._expect_error("\n".join(lines + [lines[1]]))
+
+    def test_trailer_count_mismatch(self):
+        lines = self._lines()
+        lines[-1] = json.dumps({"record": "end", "events": 99, "metrics": 0, "dropped": 0})
+        self._expect_error("\n".join(lines))
+
+    def test_unknown_record_type(self):
+        lines = self._lines()
+        lines.insert(1, json.dumps({"record": "mystery"}))
+        self._expect_error("\n".join(lines))
+
+    def test_unknown_metric_kind(self):
+        lines = self._lines()
+        lines.insert(
+            1,
+            json.dumps({"record": "metric", "metric": "summary", "name": "x", "value": 1}),
+        )
+        self._expect_error("\n".join(lines))
+
+    def test_schema_mismatch(self):
+        lines = self._lines()
+        lines[0] = json.dumps({"record": "header", "schema": 99, "meta": {}})
+        self._expect_error("\n".join(lines))
+
+    def test_invalid_json(self):
+        self._expect_error("not json at all")
+
+    def test_empty_file(self):
+        self._expect_error("")
+
+
+# -- end-to-end: instrumented runs ------------------------------------------
+
+
+class TestInstrumentedRun:
+    @pytest.fixture()
+    def traced(self, small_network, small_world, tail_query):
+        tel = Telemetry.capture()
+        outcome = run_snapshot(
+            small_network, small_world, tail_query(1.5), "sens-join",
+            tree_seed=11, telemetry=tel,
+        )
+        return tel, outcome, small_network
+
+    def test_traffic_counters_reconcile_with_stats(self, traced):
+        tel, outcome, network = traced
+        reg = tel.registry
+        by_phase = network.stats.tx_packets_by_phase()
+        for phase in (PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL):
+            assert reg.total("tx_packets_total", phase=phase) == by_phase.get(phase, 0)
+
+    def test_energy_counters_reconcile_with_ledger(self, traced):
+        tel, outcome, network = traced
+        assert tel.registry.total("energy_joules_total") == pytest.approx(
+            network.total_energy(), abs=1e-12
+        )
+
+    def test_phase_spans_cover_response_time(self, traced):
+        tel, outcome, _ = traced
+        ends = {
+            e.detail["span"]: e
+            for e in tel.tracer.filter(kind=SPAN_END)
+        }
+        assert set(ends) >= {PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL}
+        assert ends[PHASE_COLLECTION].time == pytest.approx(
+            outcome.details["collection_finish_s"]
+        )
+        # Spans carry raw phase-boundary times; the outcome's response time
+        # adds the epoch scheduling overhead on top, so it bounds them.
+        assert ends[PHASE_FINAL].time <= outcome.response_time_s
+        assert (
+            ends[PHASE_COLLECTION].time
+            <= ends[PHASE_FILTER].time
+            <= ends[PHASE_FINAL].time
+        )
+        for event in ends.values():
+            assert event.detail["duration_s"] >= 0.0
+
+    def test_treecut_counters_match_outcome_details(self, traced):
+        tel, outcome, _ = traced
+        reg = tel.registry
+        assert reg.total("treecut_exits_total") == outcome.details["treecut_exited"]
+        assert reg.total("proxy_stores_total") == outcome.details["treecut_proxies"]
+
+    def test_event_kinds_all_registered(self, traced):
+        tel, _, _ = traced
+        assert tel.tracer.kinds() <= KNOWN_EVENT_KINDS
+
+    def test_telemetry_does_not_change_results(
+        self, small_world, tail_query
+    ):
+        from repro.sim.network import DeploymentConfig, deploy_uniform
+        from repro.data.relations import SensorWorld
+
+        def run(telemetry):
+            config = DeploymentConfig(node_count=200, area_side_m=383.0, seed=11)
+            network = deploy_uniform(config)
+            world = SensorWorld.homogeneous(network, seed=11, area_side_m=383.0)
+            world.take_snapshot(0.0)
+            return network, run_snapshot(
+                network, world, tail_query(1.5), "sens-join",
+                tree_seed=11, telemetry=telemetry,
+            )
+
+        net_plain, plain = run(None)
+        net_traced, traced = run(Telemetry.capture())
+        assert plain.result.signature() == traced.result.signature()
+        assert plain.total_transmissions == traced.total_transmissions
+        assert plain.total_bytes == traced.total_bytes
+        assert plain.response_time_s == traced.response_time_s
+        assert plain.details == traced.details
+        assert net_plain.total_energy() == net_traced.total_energy()
+
+    def test_runner_restores_channel_telemetry(
+        self, small_network, small_world, tail_query
+    ):
+        before_tracer = small_network.channel.tracer
+        run_snapshot(
+            small_network, small_world, tail_query(1.5), "sens-join",
+            tree_seed=11, telemetry=Telemetry.capture(),
+        )
+        assert small_network.channel.tracer is before_tracer
+        assert small_network.channel.telemetry is NULL_TELEMETRY
+
+    def test_instrumented_none_preserves_attached_tracer(
+        self, small_network, small_world, tail_query
+    ):
+        attached = ListTracer()
+        small_network.channel.tracer = attached
+        run_snapshot(
+            small_network, small_world, tail_query(1.5), "sens-join",
+            tree_seed=11,  # telemetry=None must not clobber the tracer
+        )
+        assert small_network.channel.tracer is attached
+
+    def test_des_engine_emits_spans_on_simulated_clock(
+        self, small_network, small_world, tail_query
+    ):
+        from repro.joins.des_sensjoin import DesSensJoin
+
+        tel = Telemetry.capture()
+        outcome = run_snapshot(
+            small_network, small_world, tail_query(1.5), DesSensJoin(),
+            tree_seed=11, telemetry=tel,
+        )
+        ends = {e.detail["span"]: e for e in tel.tracer.filter(kind=SPAN_END)}
+        assert PHASE_COLLECTION in ends
+        assert ends[PHASE_COLLECTION].detail["ok"] is True
+        assert tel.registry.total("energy_joules_total") == pytest.approx(
+            small_network.total_energy(), abs=1e-12
+        )
+        assert len(outcome.result.rows) > 0
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+class TestObsCli:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        from repro.obs.__main__ import main
+
+        path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+        code = main(
+            ["record", "--nodes", "40", "--seed", "0", "--out", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_record_writes_valid_jsonl(self, trace_file):
+        log = read_jsonl(trace_file)
+        assert log.meta["nodes"] == 40
+        assert log.events and log.metrics
+
+    def test_summary(self, trace_file, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and PHASE_COLLECTION in out
+
+    def test_grep_filters(self, trace_file, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["grep", str(trace_file), "--kind", "span-end"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out and all("span-end" in line for line in out)
+
+    def test_timeline(self, trace_file, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["timeline", str(trace_file)]) == 0
+        assert "t=" in capsys.readouterr().out
+
+    def test_energy_breakdown_reconciles(self, trace_file, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["energy-breakdown", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "RECONCILIATION FAILED" not in out
+
+
+# -- bench profiling --------------------------------------------------------
+
+
+class TestBenchCacheCounters:
+    def test_cache_counts_hits_misses_puts_evictions(self, tmp_path):
+        from repro.bench.cache import ResultCache
+
+        reg = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", registry=reg)
+        assert cache.get("00aa") is None
+        cache.put("00aa", {"x": 1})
+        assert cache.get("00aa") == {"x": 1}
+        removed = cache.clear()
+        assert removed == 1
+        assert reg.total("bench_cache_misses_total") == 1
+        assert reg.total("bench_cache_hits_total") == 1
+        assert reg.total("bench_cache_puts_total") == 1
+        assert reg.total("bench_cache_evictions_total") == 1
+
+    def test_default_registry_is_null(self, tmp_path):
+        from repro.bench.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.registry.enabled is False
+        cache.put("00bb", {"x": 1})  # must not raise
+
+    def test_manifest_profile_section(self, tmp_path):
+        from repro.bench.harness import run_experiments
+
+        cold = run_experiments(
+            ["related_work"], jobs=1, cache_dir=tmp_path / "cache"
+        )
+        profile = cold.manifest["profile"]
+        assert profile["cache"] == {"hits": 0, "misses": 1, "puts": 1, "evictions": 0}
+        assert profile["slowest_cells"][0]["label"] == "related_work[0]"
+        warm = run_experiments(
+            ["related_work"], jobs=1, cache_dir=tmp_path / "cache"
+        )
+        assert warm.manifest["profile"]["cache"]["hits"] == 1
+        assert warm.manifest["profile"]["slowest_cells"] == []

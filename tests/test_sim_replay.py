@@ -68,3 +68,28 @@ def test_replay_requires_root_participation(small_tree):
 def test_replay_empty_phase_finishes_immediately(small_tree):
     time = replay_collection_phase(small_tree, [], "nothing", lambda b: 1.0)
     assert time == 0.0
+
+
+def test_replay_collection_single_node_tree():
+    """A root-only tree has no children to wait for and nothing to send:
+    the phase completes at t=0 without spawning any dependency edges."""
+    from repro.routing.tree import RoutingTree
+
+    tree = RoutingTree({}, root=0)
+    time = replay_collection_phase(tree, [], "anything", lambda b: 1.0)
+    assert time == 0.0
+
+
+def test_replay_dissemination_single_node_tree():
+    from repro.routing.tree import RoutingTree
+
+    tree = RoutingTree({}, root=0)
+    arrivals = replay_dissemination_phase(tree, [], "anything", lambda b: 1.0)
+    assert arrivals == {0: 0.0}
+
+
+def test_replay_dissemination_empty_phase(small_tree):
+    """No broadcasts in the phase: only the root 'arrives' (at 0); nodes
+    that never received anything are absent rather than defaulted."""
+    arrivals = replay_dissemination_phase(small_tree, [], "nothing", lambda b: 1.0)
+    assert arrivals == {small_tree.root: 0.0}

@@ -1,10 +1,21 @@
 """Tracer tests, including the SENS-Join protocol trace."""
 
+import re
+from collections import Counter
+from pathlib import Path
+
 import pytest
 
 from repro.joins.runner import run_snapshot
 from repro.joins.sensjoin import SensJoin
-from repro.sim.trace import ListTracer, NullTracer, TraceEvent
+from repro.sim.trace import (
+    KNOWN_EVENT_KINDS,
+    ListTracer,
+    NullTracer,
+    RingTracer,
+    TraceEvent,
+    register_event_kind,
+)
 
 
 class TestTracerBasics:
@@ -39,6 +50,103 @@ class TestTracerBasics:
         tracer = ListTracer()
         tracer.emit(0.0, 1, "x")
         assert [e.kind for e in tracer] == ["x"]
+
+    def test_counts_by_kind_is_counter(self):
+        tracer = ListTracer()
+        for _ in range(3):
+            tracer.emit(0.0, 1, "a")
+        tracer.emit(0.0, 1, "b")
+        counts = tracer.counts_by_kind()
+        assert isinstance(counts, Counter)
+        assert counts == {"a": 3, "b": 1}
+        assert counts.most_common(1) == [("a", 3)]
+        assert counts["never-seen"] == 0  # Counter semantics, no KeyError
+
+    def test_event_str_non_scalar_detail(self):
+        # Sets render sorted (deterministic regardless of insertion order)
+        # and long representations are elided, never dumped wholesale.
+        event = TraceEvent(0.5, 1, "subtree-store", {"points": {3, 1, 2}})
+        assert "points={1, 2, 3}" in str(event)
+        event = TraceEvent(0.5, 1, "subtree-store", {"d": {"b": 2, "a": 1}})
+        assert "d={'a': 1, 'b': 2}" in str(event)
+        big = TraceEvent(0.5, 1, "subtree-store", {"points": set(range(1000))})
+        rendered = str(big)
+        assert rendered.endswith("...")
+        assert len(rendered) < 120
+
+    def test_event_str_scalar_detail_unchanged(self):
+        event = TraceEvent(1.25, 3, "treecut-exit", {"tuples": 2, "note": "hi"})
+        assert "tuples=2" in str(event) and "note=hi" in str(event)
+
+
+class TestRingTracer:
+    def test_bounded_and_counts_drops(self):
+        tracer = RingTracer(capacity=3)
+        for i in range(5):
+            tracer.emit(float(i), i, "tick", index=i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        # The *most recent* events survive.
+        assert [e.detail["index"] for e in tracer] == [2, 3, 4]
+
+    def test_no_drops_under_capacity(self):
+        tracer = RingTracer(capacity=10)
+        tracer.emit(0.0, 1, "tick")
+        assert tracer.dropped == 0 and len(tracer) == 1
+
+    def test_query_api_shared_with_list_tracer(self):
+        tracer = RingTracer(capacity=8)
+        for i in range(4):
+            tracer.emit(float(i), i % 2, "tick", index=i)
+        assert len(tracer.filter(node_id=0)) == 2
+        assert tracer.kinds() == {"tick"}
+        assert tracer.counts_by_kind() == {"tick": 4}
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_rejects_non_positive_capacity(self, capacity):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=capacity)
+
+
+class TestEventKindRegistry:
+    def test_register_is_idempotent(self):
+        kind = register_event_kind("test-custom-kind")
+        assert kind == "test-custom-kind"
+        assert kind in KNOWN_EVENT_KINDS
+        register_event_kind("test-custom-kind")  # no error, no duplicate
+
+    @pytest.mark.parametrize("bad", ["", None, 7])
+    def test_register_rejects_non_strings(self, bad):
+        with pytest.raises(ValueError):
+            register_event_kind(bad)
+
+    def test_no_stray_literal_kinds_in_source(self):
+        """Grep-proof: every ``tracer.emit(...)`` in the package passes a
+        named constant, never a free-form string literal."""
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        literal_kind = re.compile(
+            r"""\.emit\(\s*[^,)]+,\s*[^,)]+,\s*(["'])([a-z0-9-]+)\1"""
+        )
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                match = literal_kind.search(line)
+                if match:
+                    offenders.append(f"{path.name}:{number}: {match.group(2)!r}")
+        assert not offenders, (
+            "emit() called with a literal kind instead of a trace.py "
+            f"constant: {offenders}"
+        )
+
+    def test_traced_run_emits_only_registered_kinds(
+        self, small_network, small_world, tail_query
+    ):
+        tracer = ListTracer()
+        run_snapshot(
+            small_network, small_world, tail_query(1.5),
+            SensJoin(tracer=tracer), tree_seed=11,
+        )
+        assert tracer.kinds() <= KNOWN_EVENT_KINDS
 
 
 class TestProtocolTrace:

@@ -229,6 +229,18 @@ class JoinOutcome:
         phases = [p for p in self.stats.tx_packets_by_phase() if p != "query-dissemination"]
         return self.stats.max_node_tx_packets(phases)
 
+    def result_set(self, digits: int = 9) -> frozenset:
+        """Uniform cross-engine comparison hook (differential testing).
+
+        Delegates to :meth:`repro.query.evaluate.JoinResult.result_set`:
+        two outcomes computed the same result iff their result sets are
+        equal, and a partial (faulted) outcome's set is a subset of the
+        lossless oracle's.  Every engine returns a :class:`JoinOutcome`,
+        so this hook is available regardless of how the engine was driven
+        (``execute`` or ``run_round``).
+        """
+        return self.result.result_set(digits)
+
 
 class JoinAlgorithm:
     """Interface every join method implements."""

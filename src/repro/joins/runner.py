@@ -34,7 +34,10 @@ from ..routing.dissemination import flood_query
 from ..routing.tree import RoutingTree
 from ..sim.network import Network
 from .base import ExecutionContext, JoinAlgorithm, JoinOutcome
+from .des_sensjoin import DesSensJoin
 from .external import ExternalJoin
+from .mediated import MediatedJoin
+from .semijoin import SemiJoinBroadcast
 from .sensjoin import SensJoin, SensJoinConfig
 
 __all__ = [
@@ -46,9 +49,16 @@ __all__ = [
     "instrumented",
 ]
 
+#: Default-constructible engines resolvable by name.  The stateful executors
+#: (``AdaptiveJoin``, ``IncrementalSensJoin``) are not listed — they hold
+#: per-round state and are driven through ``run_round`` instead of
+#: ``execute``, so callers construct them directly.
 _ALGORITHMS: dict[str, Callable[[], JoinAlgorithm]] = {
     "sens-join": SensJoin,
     "external-join": ExternalJoin,
+    "semijoin-broadcast": SemiJoinBroadcast,
+    "mediated-join": MediatedJoin,
+    "des-sensjoin": DesSensJoin,
 }
 
 

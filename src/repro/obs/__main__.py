@@ -30,6 +30,7 @@ from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
+from . import reconcile
 from .export import TraceLog, read_jsonl, write_jsonl
 from .metrics import MetricsRegistry
 
@@ -235,24 +236,8 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 # -- energy-breakdown --------------------------------------------------------
 
 
-def _derived_phase_energy(
-    reg: MetricsRegistry, phase: str, model: Dict[str, float]
-) -> float:
-    """Energy a phase *should* have cost under the affine radio model."""
-    tx_pk = reg.total("tx_packets_total", phase=phase)
-    tx_by = reg.total("tx_bytes_total", phase=phase)
-    rx_pk = reg.total("rx_packets_total", phase=phase)
-    rx_by = reg.total("rx_bytes_total", phase=phase)
-    retx_pk = reg.total("retx_packets_total", phase=phase)
-    retx_by = reg.total("retx_bytes_total", phase=phase)
-    return (
-        tx_pk * model["tx_per_packet"]
-        + tx_by * model["tx_per_byte"]
-        + rx_pk * model["rx_per_packet"]
-        + rx_by * model["rx_per_byte"]
-        + retx_pk * model["tx_per_packet"]
-        + retx_by * model["tx_per_byte"]
-    )
+#: Shared with the differential harness — see :mod:`repro.obs.reconcile`.
+_derived_phase_energy = reconcile.derived_phase_energy
 
 
 def _cmd_energy_breakdown(args: argparse.Namespace) -> int:
@@ -294,7 +279,7 @@ def _cmd_energy_breakdown(args: argparse.Namespace) -> int:
         print(f"ledger total (from meta): {ledger_total:.6f} J "
               f"(|delta| {abs(ledger_total - total_measured):.2e})")
     if model is not None:
-        tolerance = max(1e-9, 1e-9 * max(total_measured, 1.0))
+        tolerance = reconcile.reconciliation_tolerance(total_measured)
         if worst_delta > tolerance:
             print(
                 f"RECONCILIATION FAILED: worst per-phase |delta| {worst_delta:.2e} "

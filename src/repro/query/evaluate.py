@@ -154,6 +154,27 @@ class JoinResult:
         )
         return (combos, rows)
 
+    def result_set(self, digits: int = 9) -> frozenset:
+        """The result as a comparable set, for differential testing.
+
+        Non-aggregate queries emit one output row per joining combination,
+        so elements are ``(node_combo, canonical_row)`` pairs — equality
+        means two engines found the same matches *and* computed the same
+        values for them, and a partial (faulted) result's set is a subset
+        of the oracle's.  Aggregate queries collapse to a single row, so
+        combinations and (rounded) rows are keyed separately instead.
+        """
+
+        def canonical(row: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
+            return tuple(sorted((key, round(value, digits)) for key, value in row.items()))
+
+        rows = self.rows
+        if len(rows) == self.match_count:
+            return frozenset(zip(self.combinations, (canonical(row) for row in rows)))
+        elements: set = {("combo", combo) for combo in self.combinations}
+        elements |= {("row", canonical(row)) for row in rows}
+        return frozenset(elements)
+
 
 # ---------------------------------------------------------------------------
 # Incremental combination expansion (shared by exact and conservative modes)

@@ -34,7 +34,7 @@ from typing import Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import EvaluationError
+from ..errors import EvaluationError, QueryError
 from .intervals import Interval, TriBool
 
 __all__ = [
@@ -117,7 +117,7 @@ class Column(Expression):
 
     def __init__(self, alias: str, name: str):
         if not alias or not name:
-            raise ValueError("column alias and name must be non-empty")
+            raise QueryError("column alias and name must be non-empty")
         self.alias = alias
         self.name = name
 
@@ -456,7 +456,7 @@ class Compare(Predicate):
 
     def __init__(self, op: str, left: Expression, right: Expression):
         if op not in self.OPS:
-            raise ValueError(f"unknown comparison operator {op!r}")
+            raise QueryError(f"unknown comparison operator {op!r}")
         self.op = op
         self.left = left
         self.right = right
@@ -545,7 +545,7 @@ class And(Predicate):
 
     def __init__(self, *parts: Predicate):
         if len(parts) < 2:
-            raise ValueError("And needs at least two operands")
+            raise QueryError("And needs at least two operands")
         self.parts = tuple(parts)
 
     def evaluate(self, env: ScalarEnv) -> bool:
@@ -588,7 +588,7 @@ class Or(Predicate):
 
     def __init__(self, *parts: Predicate):
         if len(parts) < 2:
-            raise ValueError("Or needs at least two operands")
+            raise QueryError("Or needs at least two operands")
         self.parts = tuple(parts)
 
     def evaluate(self, env: ScalarEnv) -> bool:
@@ -667,9 +667,9 @@ class Aggregate:
     def __init__(self, func: str, operand: Expression | None):
         func = func.upper()
         if func not in self.FUNCS:
-            raise ValueError(f"unknown aggregate function {func!r}")
+            raise QueryError(f"unknown aggregate function {func!r}")
         if operand is None and func != "COUNT":
-            raise ValueError(f"{func} requires an operand ({func}(*) is not valid)")
+            raise QueryError(f"{func} requires an operand ({func}(*) is not valid)")
         self.func = func
         self.operand = operand
 

@@ -26,6 +26,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+from ..errors import EvaluationError
+
 __all__ = ["Interval", "TriBool"]
 
 
@@ -88,9 +90,9 @@ class Interval:
 
     def __post_init__(self) -> None:
         if math.isnan(self.lo) or math.isnan(self.hi):
-            raise ValueError("interval bounds must not be NaN")
+            raise EvaluationError("interval bounds must not be NaN")
         if self.lo > self.hi:
-            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+            raise EvaluationError(f"empty interval: lo={self.lo} > hi={self.hi}")
 
     @staticmethod
     def point(value: float) -> "Interval":

@@ -136,6 +136,13 @@ class JoinQuery:
                 "mixing aggregate and plain SELECT entries requires GROUP BY, "
                 "which the dialect does not support"
             )
+        names = [item.name for item in select]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise QueryError(
+                f"duplicate SELECT output name(s) {duplicates}; "
+                "label colliding expressions with AS"
+            )
         self.select: Tuple[SelectItem, ...] = tuple(select)
         self.relations: Tuple[Tuple[str, str], ...] = tuple(relations)
         self.where = where

@@ -99,6 +99,29 @@ class Fault:
     def _sort_key(self) -> Tuple[float, str, int, int]:
         return (self.time_s, self.kind, self.node_a, self.node_b)
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for repro artifacts and traces)."""
+        return {
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "node_a": self.node_a,
+            "node_b": self.node_b,
+            "duration_s": self.duration_s,
+            "loss_rate": self.loss_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        """Inverse of :meth:`to_dict`; re-runs construction validation."""
+        return cls(
+            time_s=float(data["time_s"]),
+            kind=str(data["kind"]),
+            node_a=int(data.get("node_a", -1)),
+            node_b=int(data.get("node_b", -1)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            loss_rate=float(data.get("loss_rate", 0.0)),
+        )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -114,6 +137,15 @@ class FaultPlan:
     def empty(cls) -> "FaultPlan":
         """A plan that injects nothing (the engine treats it as no plan)."""
         return cls(())
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation; round-trips through :meth:`from_dict`."""
+        return {"faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (order-insensitive)."""
+        return cls(tuple(Fault.from_dict(entry) for entry in data.get("faults", ())))
 
     @property
     def crashed_nodes(self) -> Tuple[int, ...]:

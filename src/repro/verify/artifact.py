@@ -1,0 +1,107 @@
+"""Replayable repro artifacts for fuzz failures.
+
+A failing trial is saved as a small JSON document carrying everything needed
+to re-trigger the bug later — the shrunk spec, the original spec it came
+from, which invariant failed with what message, and the shrink trail.  The
+``repro.verify replay`` CLI loads the artifact, rebuilds the exact world from
+the spec (everything derives from seeds) and reports whether the violation
+still reproduces — the workflow for turning a nightly fuzz failure into a
+regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import TraceFormatError
+from .generators import TrialSpec
+from .invariants import Violation
+from .runner import TrialReport, run_trial
+
+__all__ = ["ARTIFACT_FORMAT", "ReproArtifact", "ReplayOutcome", "replay"]
+
+ARTIFACT_FORMAT = "repro.verify/1"
+
+
+@dataclass
+class ReproArtifact:
+    """One shrunk, replayable fuzz failure."""
+
+    invariant: str
+    message: str
+    spec: TrialSpec
+    original_spec: Optional[TrialSpec] = None
+    shrink_steps: List[str] = field(default_factory=list)
+    #: Provenance: which fuzz run produced this artifact.
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = {
+            "format": ARTIFACT_FORMAT,
+            "invariant": self.invariant,
+            "message": self.message,
+            "spec": self.spec.to_dict(),
+            "shrink_steps": list(self.shrink_steps),
+            "meta": dict(self.meta),
+        }
+        if self.original_spec is not None:
+            data["original_spec"] = self.original_spec.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproArtifact":
+        fmt = data.get("format")
+        if fmt != ARTIFACT_FORMAT:
+            raise TraceFormatError(
+                f"unsupported repro artifact format {fmt!r}; expected {ARTIFACT_FORMAT!r}"
+            )
+        original = data.get("original_spec")
+        return cls(
+            invariant=str(data["invariant"]),
+            message=str(data.get("message", "")),
+            spec=TrialSpec.from_dict(data["spec"]),
+            original_spec=TrialSpec.from_dict(original) if original else None,
+            shrink_steps=[str(step) for step in data.get("shrink_steps", ())],
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "ReproArtifact":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"repro artifact {path} is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of re-running an artifact's spec."""
+
+    artifact: ReproArtifact
+    report: TrialReport
+    violation: Optional[Violation]
+
+    @property
+    def reproduced(self) -> bool:
+        """True iff the artifact's invariant fails again."""
+        return any(v.invariant == self.artifact.invariant for v in self.report.violations)
+
+
+def replay(artifact: ReproArtifact) -> ReplayOutcome:
+    """Re-execute the artifact's spec and re-check the invariants."""
+    report = run_trial(artifact.spec)
+    violation = next(
+        (v for v in report.violations if v.invariant == artifact.invariant),
+        report.first,
+    )
+    return ReplayOutcome(artifact=artifact, report=report, violation=violation)

@@ -18,6 +18,42 @@ from repro.sim.network import DeploymentConfig, deploy_grid, deploy_uniform
 SMALL_SIDE = 383.0
 
 
+@pytest.fixture(scope="session")
+def make_deployment():
+    """Factory for seeded ``(network, world)`` pairs at the paper's density.
+
+    Replaces per-module copies of the same deployment boilerplate: tests ask
+    for exactly the knobs they vary (``node_count``, ``seed``, ``drift_rate``,
+    ``loss_rate``) and get a uniform deployment whose area follows the
+    paper's node density unless pinned with ``area_side_m``.  Session-scoped
+    because the factory itself is stateless — every call builds fresh
+    objects, so mutation in one test cannot leak into another.
+    """
+
+    def make(
+        node_count: int,
+        seed: int,
+        drift_rate: float = 0.0,
+        loss_rate: float = 0.0,
+        area_side_m: float | None = None,
+    ):
+        if area_side_m is None:
+            area_side_m = DeploymentConfig().scaled(node_count).area_side_m
+        config = DeploymentConfig(
+            node_count=node_count,
+            area_side_m=area_side_m,
+            seed=seed,
+            loss_rate=loss_rate,
+        )
+        network = deploy_uniform(config)
+        world = SensorWorld.homogeneous(
+            network, seed=seed, area_side_m=area_side_m, drift_rate=drift_rate
+        )
+        return network, world
+
+    return make
+
+
 @pytest.fixture()
 def grid_network():
     """7x7 grid, 40 m pitch, 50 m range: 4-neighbour connectivity."""

@@ -51,15 +51,30 @@ class TestRoundtrip:
         backward = codec.encode(list(reversed(points)))
         assert forward == backward
 
-    def test_uneven_levels(self):
-        codec = QuadtreeCodec(2, [3, 2, 1])
-        points = {(1, 0b101010), (2, 0b000001), (3, 0b111111)}
-        assert codec.decode(codec.encode(points)) == frozenset(points)
+    # Codec shapes for the seeded sweep: uneven level widths, no flag bits,
+    # single level, many narrow levels.  Replaces earlier hard-coded point
+    # lists with generator-driven coverage of the same shapes.
+    SWEEP_SHAPES = [
+        (2, [3, 2, 1]),
+        (0, [2, 2]),
+        (0, [1, 1, 1]),
+        (1, [4]),
+        (2, [2] * 6),
+        (3, [1] * 8),
+    ]
 
-    def test_no_flag_bits(self):
-        codec = QuadtreeCodec(0, [2, 2])
-        points = {(0, 5), (0, 9)}
+    @pytest.mark.parametrize("flag_bits,widths", SWEEP_SHAPES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeded_sweep_roundtrip(self, flag_bits, widths, seed):
+        import random
+
+        from repro.verify.generators import random_flagged_points
+
+        codec = QuadtreeCodec(flag_bits, widths)
+        rng = random.Random(seed)
+        points = random_flagged_points(rng, codec, max_points=40)
         assert codec.decode(codec.encode(points)) == frozenset(points)
+        assert codec.encoded_size_bits(points) == len(codec.encode(points))
 
 
 class TestCompactness:
@@ -177,3 +192,37 @@ class TestOptimality:
         flat_cost = 5 * (1 + 8) + 1
         assert len(encoded) < flat_cost
         assert codec.decode(encoded) == frozenset(points)
+
+
+class TestFullPipeline:
+    """Raw values -> quantize -> Z-curve -> quadtree wire format -> decode.
+
+    The whole encoding stack the protocol runs per tuple, driven by the
+    differential harness's seeded generators: the decoded cell must contain
+    the raw value on every dimension, and the wire round trip must be exact.
+    """
+
+    @pytest.mark.parametrize("attrs", [["temp"], ["temp", "hum"], ["temp", "hum", "x"]])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_quantize_zcurve_quadtree_roundtrip(self, attrs, seed):
+        import random
+
+        from repro.codec.quantize import Quantizer
+        from repro.data.sensors import standard_catalog
+        from repro.verify.generators import random_values
+
+        quantizer = Quantizer.for_attributes(standard_catalog(), attrs)
+        codec = QuadtreeCodec.for_quantizer(quantizer, alias_count=2)
+        rng = random.Random(seed)
+        points = set()
+        for _ in range(30):
+            values = random_values(rng, quantizer)
+            z = quantizer.encode(values)
+            bounds = quantizer.cell_bounds(z)
+            for name, value in values.items():
+                assert bounds.lo[name] <= value <= bounds.hi[name]
+            cells = quantizer.decode_cells(z)
+            for dim in quantizer.dimensions:
+                assert cells[dim.name] == dim.cell_of(values[dim.name])
+            points.add((rng.randrange(1, 4), z))
+        assert codec.decode(codec.encode(points)) == frozenset(points)

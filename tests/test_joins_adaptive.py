@@ -2,19 +2,15 @@
 
 import pytest
 
-from repro.data.relations import SensorWorld
 from repro.joins.adaptive import AdaptiveJoin
 from repro.joins.runner import run_snapshot
 from repro.query.parser import parse_query
 from repro.query.query import JoinQuery, Once
-from repro.sim.network import DeploymentConfig, deploy_uniform
 
 
 @pytest.fixture()
-def setup():
-    network = deploy_uniform(DeploymentConfig(node_count=150, area_side_m=332.0, seed=6))
-    world = SensorWorld.homogeneous(network, seed=6, area_side_m=332.0, drift_rate=0.0001)
-    return network, world
+def setup(make_deployment):
+    return make_deployment(150, seed=6, drift_rate=0.0001)
 
 
 def selective_query():

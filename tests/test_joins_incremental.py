@@ -2,21 +2,16 @@
 
 import pytest
 
-from repro.data.relations import SensorWorld
 from repro.joins.incremental import IncrementalSensJoin
 from repro.joins.runner import run_snapshot
 from repro.joins.sensjoin import SensJoinConfig
 from repro.query.parser import parse_query
 from repro.query.query import JoinQuery, Once
-from repro.sim.network import DeploymentConfig, deploy_uniform
 
 
 @pytest.fixture(scope="module")
-def setup():
-    network = deploy_uniform(DeploymentConfig(node_count=180, area_side_m=364.0, seed=17))
-    world = SensorWorld.homogeneous(
-        network, seed=17, area_side_m=364.0, drift_rate=0.0001
-    )
+def setup(make_deployment):
+    network, world = make_deployment(180, seed=17, drift_rate=0.0001)
     query = parse_query(
         "SELECT A.hum, B.hum FROM sensors A, sensors B "
         "WHERE A.temp - B.temp > 11.0 SAMPLE PERIOD 60"
@@ -67,9 +62,8 @@ def test_filter_suppression_reported(setup):
     assert second.details["cache_bytes_max"] > 0
 
 
-def test_frozen_field_costs_almost_nothing_after_round0():
-    network = deploy_uniform(DeploymentConfig(node_count=120, area_side_m=297.0, seed=4))
-    world = SensorWorld.homogeneous(network, seed=4, area_side_m=297.0, drift_rate=0.0)
+def test_frozen_field_costs_almost_nothing_after_round0(make_deployment):
+    network, world = make_deployment(120, seed=4)
     query = parse_query(
         "SELECT A.hum, B.hum FROM sensors A, sensors B "
         "WHERE A.temp - B.temp > 10.0 SAMPLE PERIOD 60"
@@ -112,12 +106,11 @@ def test_non_quadtree_representation_rejected(setup):
         )
 
 
-def test_membership_changes_handled():
+def test_membership_changes_handled(make_deployment):
     """Selection predicates over drifting readings flip node flags between
     rounds; the deltas must track that (a formerly-contributing node's point
     disappears)."""
-    network = deploy_uniform(DeploymentConfig(node_count=120, area_side_m=297.0, seed=4))
-    world = SensorWorld.homogeneous(network, seed=4, area_side_m=297.0, drift_rate=0.005)
+    network, world = make_deployment(120, seed=4, drift_rate=0.005)
     query = parse_query(
         "SELECT A.hum, B.hum FROM sensors A, sensors B "
         "WHERE A.temp > 22.0 AND A.temp - B.temp > 2.0 SAMPLE PERIOD 60"

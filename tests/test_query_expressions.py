@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, QueryError
 from repro.query.expressions import (
     Abs,
     Add,
@@ -90,7 +90,7 @@ def test_compare_all_operators():
     assert not Compare(">=", A_TEMP, B_TEMP).evaluate(env)
     assert not Compare("=", A_TEMP, B_TEMP).evaluate(env)
     assert Compare("!=", A_TEMP, B_TEMP).evaluate(env)
-    with pytest.raises(ValueError):
+    with pytest.raises(QueryError):
         Compare("~", A_TEMP, B_TEMP)
 
 
@@ -101,9 +101,9 @@ def test_boolean_connectives():
     assert not And(t, f).evaluate({})
     assert Or(f, t).evaluate({})
     assert Not(f).evaluate({})
-    with pytest.raises(ValueError):
+    with pytest.raises(QueryError):
         And(t)
-    with pytest.raises(ValueError):
+    with pytest.raises(QueryError):
         Or(f)
 
 
@@ -206,9 +206,9 @@ def test_aggregate_apply():
 
 
 def test_aggregate_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(QueryError):
         Aggregate("MEDIAN", A_TEMP)
-    with pytest.raises(ValueError):
+    with pytest.raises(QueryError):
         Aggregate("MIN", None)
     with pytest.raises(EvaluationError):
         Aggregate("MIN", A_TEMP).apply([], 0)

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import EvaluationError
 from repro.query.intervals import Interval, TriBool
 
 finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
@@ -57,11 +58,11 @@ class TestTriBool:
 
 class TestIntervalBasics:
     def test_empty_interval_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(EvaluationError):
             Interval(2.0, 1.0)
 
     def test_nan_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(EvaluationError):
             Interval(float("nan"), 1.0)
 
     def test_point_helpers(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.sensors import standard_catalog
-from repro.errors import BindingError, ParseError
+from repro.errors import BindingError, ParseError, QueryError, ReproError
 from repro.query.expressions import Abs, And, Compare, Distance
 from repro.query.parser import parse_query, tokenize
 from repro.query.query import Once, SamplePeriod
@@ -194,6 +194,80 @@ class TestErrors:
     def test_unclosed_abs_bars(self):
         with pytest.raises(ParseError):
             parse_query("SELECT |A.temp FROM s A ONCE")
+
+
+class TestTypedErrors:
+    """Every rejection path raises a typed repro.errors exception.
+
+    ``QueryError`` deliberately does *not* subclass ``ValueError``: callers
+    that catch query-validation problems must name them, and a bare
+    ``ValueError`` escaping the query layer is a bug.
+    """
+
+    def test_query_errors_are_typed_not_bare(self):
+        assert issubclass(ParseError, QueryError)
+        assert issubclass(BindingError, QueryError)
+        assert issubclass(QueryError, ReproError)
+        assert not issubclass(QueryError, ValueError)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # malformed predicates
+            "SELECT A.temp FROM s A, s B WHERE A.temp > ONCE",
+            "SELECT A.temp FROM s A, s B WHERE A.temp >> B.temp ONCE",
+            "SELECT A.temp FROM s A, s B WHERE AND A.temp > 1 ONCE",
+            "SELECT A.temp FROM s A, s B WHERE A.temp > 1 AND ONCE",
+            "SELECT A.temp FROM s A, s B WHERE (A.temp > 1 ONCE",
+            "SELECT A.temp FROM s A, s B WHERE NOT ONCE",
+            # malformed SELECT / FROM lists
+            "SELECT FROM s A ONCE",
+            "SELECT A.temp, FROM s A ONCE",
+            "SELECT A.temp FROM ONCE",
+            "SELECT A.temp FROM s A, ONCE",
+        ],
+    )
+    def test_malformed_query_raises_parse_error(self, sql):
+        with pytest.raises(ParseError):
+            parse_query(sql)
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("SELECT ?")
+        assert exc.value.position == 7
+
+    def test_duplicate_from_aliases_rejected(self):
+        with pytest.raises(QueryError, match="duplicate alias"):
+            parse_query("SELECT A.temp FROM s A, s A WHERE A.temp > 1 ONCE")
+
+    def test_duplicate_select_output_names_rejected(self):
+        with pytest.raises(QueryError, match="duplicate SELECT output name"):
+            parse_query("SELECT A.temp, A.temp FROM s A, s B WHERE A.temp > B.temp ONCE")
+
+    def test_duplicate_select_labels_rejected(self):
+        with pytest.raises(QueryError, match="duplicate SELECT output name"):
+            parse_query(
+                "SELECT A.temp AS v, B.temp AS v FROM s A, s B WHERE A.temp > B.temp ONCE"
+            )
+
+    def test_distinct_labels_resolve_collision(self):
+        query = parse_query(
+            "SELECT A.temp AS a_t, B.temp AS b_t FROM s A, s B WHERE A.temp > B.temp ONCE"
+        )
+        assert [item.name for item in query.select] == ["a_t", "b_t"]
+
+    def test_mixed_aggregate_and_plain_rejected(self):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            parse_query(
+                "SELECT MIN(A.temp), B.temp FROM s A, s B WHERE A.temp > B.temp ONCE"
+            )
+
+    def test_unknown_attribute_is_binding_error_not_value_error(self):
+        with pytest.raises(BindingError):
+            parse_query(
+                "SELECT A.temp FROM sensors A, sensors B WHERE A.salinity > B.temp ONCE",
+                catalog=standard_catalog(),
+            )
 
 
 class TestRandomRoundTrip:

@@ -177,14 +177,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    payloads = json.loads(bundle.read_text())
+    try:
+        payloads = json.loads(bundle.read_text())
+    except OSError as error:
+        print(f"error: cannot read {bundle}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(
+            f"error: {bundle} is not valid JSON ({error}) — "
+            "re-run `python -m repro.bench run` to regenerate it",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(payloads, list):
+        print(
+            f"error: {bundle} does not hold a series list — "
+            "re-run `python -m repro.bench run` to regenerate it",
+            file=sys.stderr,
+        )
+        return 2
     for payload in payloads:
-        print(render_table(ExperimentSeries.from_dict(payload)))
+        try:
+            series = ExperimentSeries.from_dict(payload)
+        except (KeyError, TypeError, AttributeError):
+            print(
+                f"error: {bundle} holds a malformed series entry — "
+                "re-run `python -m repro.bench run` to regenerate it",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_table(series))
         print()
     profile = _render_profile(Path(args.results_dir) / MANIFEST_NAME)
     if profile is not None:
         print(profile)
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import cmd_perf  # deferred: keeps `list`/`report` startup light
+
+    return cmd_perf(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR))
     report.set_defaults(handler=_cmd_report)
+
+    perf = commands.add_parser(
+        "perf",
+        help="time codec/kernel/e2e hot paths; write BENCH_<n>.json snapshots",
+    )
+    from .perf import add_perf_arguments
+
+    add_perf_arguments(perf)
+    perf.set_defaults(handler=_cmd_perf)
 
     return parser
 

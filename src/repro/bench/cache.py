@@ -37,7 +37,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import platform
 import shutil
+import sys
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -59,18 +61,37 @@ CACHE_DIR_ENV = "REPRO_BENCH_CACHE_DIR"
 CACHE_SCHEMA_VERSION = 1
 
 
+def _interpreter_fingerprint() -> Dict[str, Any]:
+    """The runtime a cached result depends on besides the code itself.
+
+    Float-heavy cells (threshold calibration, latency accumulation) can
+    legitimately differ across interpreter versions, implementations and
+    platforms, so a cache populated under one Python must not serve another.
+    Major.minor is enough version resolution: patch releases do not change
+    float or hash semantics.
+    """
+    return {
+        "python": list(sys.version_info[:2]),
+        "implementation": sys.implementation.name,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
 def code_fingerprint() -> str:
     """Digest of the code-relevant constants and the package version.
 
     Covers everything a cached result is allowed to depend on besides its
     own parameters: ``repro.__version__``, the public (upper-case) values
-    of :mod:`repro.constants`, and :data:`CACHE_SCHEMA_VERSION`.
+    of :mod:`repro.constants`, :data:`CACHE_SCHEMA_VERSION`, and the
+    interpreter/platform fingerprint.
     """
     from .. import __version__, constants
 
     payload = {
         "version": __version__,
         "schema": CACHE_SCHEMA_VERSION,
+        "interpreter": _interpreter_fingerprint(),
         "constants": {
             name: repr(getattr(constants, name))
             for name in sorted(dir(constants))

@@ -145,6 +145,8 @@ def _assemble_concat(series_list: List[ExperimentSeries]) -> ExperimentSeries:
     constant across sweep points (the per-point series all carry the same
     note, which deduplicates to the single note the serial loop appends).
     """
+    if not series_list:
+        raise ValueError("cannot assemble an experiment from zero cell series")
     first = series_list[0]
     out = ExperimentSeries(first.experiment, first.title, list(first.columns))
     for part in series_list:
@@ -461,6 +463,11 @@ def run_experiments(
         raise ValueError(f"jobs must be >= 1: {jobs}")
     specs = experiment_specs(node_count)
     selected = select_specs(specs, patterns)
+    empty = [spec.name for spec in selected if not spec.cells]
+    if empty:
+        raise ValueError(
+            f"experiment(s) selected with zero cells: {', '.join(empty)}"
+        )
     cells = [cell for spec in selected for cell in spec.cells]
     fingerprint = code_fingerprint()
     registry = MetricsRegistry()

@@ -83,6 +83,11 @@ class TupleFormat:
             raise QueryError("query has no join attributes")
         self.quantizer = Quantizer.for_attributes(world.catalog, self.join_attributes)
         self.codec = QuadtreeCodec.for_quantizer(self.quantizer, alias_count=len(self.aliases))
+        # Size-only encodes repeat heavily: the same point set is re-sized at
+        # every unpruned hop of a filter chain and in every store/forward
+        # decision.  frozenset keys make the memo safe (immutable) and cheap
+        # (CPython caches a frozenset's hash after the first use).
+        self._size_memo: Dict[frozenset, int] = {}
 
     # -- sizes -------------------------------------------------------------------
 
@@ -101,7 +106,19 @@ class TupleFormat:
         return count * self.full_tuple_bytes
 
     def encoded_points_bytes(self, points: Sequence[FlaggedPoint] | frozenset) -> int:
-        """Wire size of a point set under the quadtree representation."""
+        """Wire size of a point set under the quadtree representation.
+
+        Results are memoized per frozenset (equal sets hit the same entry
+        even as distinct objects); mutable sequences are sized directly.
+        """
+        if isinstance(points, frozenset):
+            cached = self._size_memo.get(points)
+            if cached is None:
+                if len(self._size_memo) >= 4096:  # long incremental runs stay bounded
+                    self._size_memo.clear()
+                cached = (self.codec.encoded_size_bits(points) + 7) // 8
+                self._size_memo[points] = cached
+            return cached
         bits = self.codec.encoded_size_bits(points)
         return (bits + 7) // 8
 

@@ -434,6 +434,13 @@ class SensJoin(JoinAlgorithm):
         broadcasts = 0
         pruned_subtrees = 0
         last_arrival = start_time
+        # Sibling subtrees regularly receive the same filter and store equal
+        # SubtreeJoinAtts (dense deployments quantize to the same cells), so
+        # the prune check repeats; memoize it for this wave.
+        intersect_memo: Dict[
+            Tuple[FrozenSet[FlaggedPoint], FrozenSet[FlaggedPoint]],
+            FrozenSet[FlaggedPoint],
+        ] = {}
 
         for node_id in tree.pre_order():
             state = states[node_id]
@@ -448,7 +455,11 @@ class SensJoin(JoinAlgorithm):
             if not awake_children:
                 continue
             if pruning_enabled and state.subtree_atts is not None:
-                subtree_filter = intersect_points(incoming, state.subtree_atts)
+                memo_key = (incoming, state.subtree_atts)
+                subtree_filter = intersect_memo.get(memo_key)
+                if subtree_filter is None:
+                    subtree_filter = intersect_points(incoming, state.subtree_atts)
+                    intersect_memo[memo_key] = subtree_filter
             else:
                 # Memory cap exceeded (or pruning disabled): forward as is.
                 subtree_filter = incoming
@@ -492,6 +503,9 @@ class SensJoin(JoinAlgorithm):
         carried_bytes: Dict[int, int] = {}
         finish: Dict[int, float] = {}
         senders = 0
+        # All children of one broadcast share the same filter frozenset;
+        # build its z -> flags lookup once instead of per node.
+        flags_memo: Dict[FrozenSet[FlaggedPoint], Dict[int, int]] = {}
 
         for node_id in tree.post_order():
             state = states[node_id]
@@ -515,7 +529,7 @@ class SensJoin(JoinAlgorithm):
                 finish[node_id] = children_finish
                 continue
 
-            matched = self._matching_records(fmt, state)
+            matched = self._matching_records(fmt, state, flags_memo)
             if matched:
                 senders += 1
                 self.tracer.emit(
@@ -543,15 +557,22 @@ class SensJoin(JoinAlgorithm):
         return result, finish[BASE_STATION_ID]
 
     def _matching_records(
-        self, fmt: TupleFormat, state: _NodeState
+        self,
+        fmt: TupleFormat,
+        state: _NodeState,
+        flags_memo: Optional[Dict[FrozenSet[FlaggedPoint], Dict[int, int]]] = None,
     ) -> List[FullTupleRecord]:
         """Own + proxied tuples whose point is in the received filter."""
         incoming = state.filter_received or frozenset()
         if not incoming:
             return []
-        filter_flags: Dict[int, int] = {}
-        for flags, z in incoming:
-            filter_flags[z] = filter_flags.get(z, 0) | flags
+        filter_flags = flags_memo.get(incoming) if flags_memo is not None else None
+        if filter_flags is None:
+            filter_flags = {}
+            for flags, z in incoming:
+                filter_flags[z] = filter_flags.get(z, 0) | flags
+            if flags_memo is not None:
+                flags_memo[incoming] = filter_flags
         matched: List[FullTupleRecord] = []
         if state.record is not None and state.own_point is not None:
             own_flags, own_z = state.own_point

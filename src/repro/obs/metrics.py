@@ -15,6 +15,7 @@ Histogram instruments do not bucket: simulations are small enough to keep
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 __all__ = [
@@ -34,6 +35,24 @@ def _labels_key(labels: Mapping[str, Any]) -> LabelsKey:
     return tuple(sorted(labels.items()))
 
 
+def _require_finite(instrument: str, verb: str, value: float) -> float:
+    """Reject NaN/inf before they poison a sum or mean export.
+
+    Mirrors the ``reporting.add_row`` convention: a :class:`ValueError` at
+    the call site, instead of a silently corrupted aggregate discovered at
+    export time.
+    """
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{instrument} {verb} expects a finite number, got {value!r}"
+        ) from None
+    if not math.isfinite(numeric):
+        raise ValueError(f"{instrument} {verb} expects a finite number, got {value!r}")
+    return numeric
+
+
 class Counter:
     """Monotonically increasing count (packets sent, cache hits, ...)."""
 
@@ -45,6 +64,7 @@ class Counter:
         self.value: float = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        amount = _require_finite(f"counter {self.name}", "inc", amount)
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
         self.value += amount
@@ -61,13 +81,13 @@ class Gauge:
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
+        self.value = _require_finite(f"gauge {self.name}", "set", value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        self.value += _require_finite(f"gauge {self.name}", "inc", amount)
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        self.value -= _require_finite(f"gauge {self.name}", "dec", amount)
 
 
 class Histogram:
@@ -84,6 +104,7 @@ class Histogram:
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
+        value = _require_finite(f"histogram {self.name}", "observe", value)
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)

@@ -38,6 +38,7 @@ reproducible run-to-run.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
@@ -284,12 +285,22 @@ class AllOf(Event):
 
 
 class Environment:
-    """Holds the simulation clock and the pending-event queue."""
+    """Holds the simulation clock and the pending-event queue.
+
+    The queue is *bucketed by timestamp*: a heap orders the distinct pending
+    times and a deque per time holds that instant's events in insertion
+    order.  Radio traffic schedules bursts of same-timestamp events (every
+    receiver of a broadcast, every hop of a dissemination wave), so most
+    scheduling is an O(1) deque append instead of an O(log n) heap push —
+    and FIFO-per-timestamp is exactly the insertion-order tiebreaking the
+    old ``(time, serial, event)`` heap provided, so runs stay reproducible
+    event-for-event.
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
-        self._next_id = 0
+        self._times: list[float] = []  # heap of distinct pending times
+        self._buckets: dict[float, deque[Event]] = {}
 
     @property
     def now(self) -> float:
@@ -317,18 +328,28 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._next_id += 1
-        heapq.heappush(self._queue, (self._now + delay, self._next_id, event))
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = deque((event,))
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._times[0] if self._times else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._queue:
+        if not self._times:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._queue)
+        when = self._times[0]
+        bucket = self._buckets[when]
+        event = bucket.popleft()
+        if not bucket:
+            heapq.heappop(self._times)
+            del self._buckets[when]
         self._now = when
         event._fire()
         event._processed = True
@@ -350,7 +371,7 @@ class Environment:
         if isinstance(until, Event):
             target = until
             while not target._processed:
-                if not self._queue:
+                if not self._times:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event fired (deadlock?)"
@@ -360,8 +381,32 @@ class Environment:
                 return target._value
             raise target._value
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # Tight drain: whole buckets at a time, without re-consulting the
+        # heap per event.  Callbacks may append to the *current* bucket
+        # (zero-delay scheduling at the current time) — the inner loop picks
+        # those up in insertion order, exactly like the per-event heap did.
+        # Earlier times cannot appear (delays are never negative).
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while times and times[0] <= deadline:
+            when = times[0]
+            bucket = buckets[when]
+            self._now = when
+            try:
+                while bucket:
+                    event = bucket.popleft()
+                    event._fire()
+                    event._processed = True
+                    callbacks, event.callbacks = event.callbacks, []
+                    for callback in callbacks:
+                        callback(event)
+            finally:
+                # Keep the bucket invariant (present => non-empty) even if a
+                # callback raised mid-drain.
+                if not bucket:
+                    heappop(times)
+                    del buckets[when]
         if until is not None:
             self._now = max(self._now, deadline) if deadline != float("inf") else self._now
         return None

@@ -103,6 +103,28 @@ class TestCache:
         monkeypatch.setattr(repro.constants, "PAPER_NODE_COUNT", 7)
         assert code_fingerprint() != base
 
+    def test_fingerprint_tracks_interpreter(self, monkeypatch):
+        import repro.bench.cache as cache_mod
+
+        base = code_fingerprint()
+        monkeypatch.setattr(
+            cache_mod,
+            "_interpreter_fingerprint",
+            lambda: {"python": [9, 99], "implementation": "other",
+                     "platform": "plan9", "machine": "pdp11"},
+        )
+        assert code_fingerprint() != base
+
+    def test_interpreter_fingerprint_names_this_runtime(self):
+        import sys
+
+        from repro.bench.cache import _interpreter_fingerprint
+
+        fingerprint = _interpreter_fingerprint()
+        assert fingerprint["python"] == list(sys.version_info[:2])
+        assert fingerprint["implementation"] == sys.implementation.name
+        assert fingerprint["platform"] == sys.platform
+
     def test_store_round_trip_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         assert cache.get("ab" * 32) is None
@@ -276,3 +298,43 @@ class TestCli:
         ])
         assert code == 2
         assert "no experiment matches" in capsys.readouterr().err
+
+    def test_report_on_corrupt_bundle_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "series.json").write_text("{truncated by a cleared dir")
+        assert bench_main(["report", "--results-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and "Traceback" not in err
+
+    def test_report_on_non_list_bundle_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "series.json").write_text('{"experiment": "x"}')
+        assert bench_main(["report", "--results-dir", str(tmp_path)]) == 2
+        assert "series list" in capsys.readouterr().err
+
+    def test_report_on_malformed_entry_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "series.json").write_text(json.dumps([{"bogus": 1}]))
+        assert bench_main(["report", "--results-dir", str(tmp_path)]) == 2
+        assert "malformed series entry" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Zero-cell guards
+# ---------------------------------------------------------------------------
+
+
+class TestZeroCellGuards:
+    def test_assemble_concat_rejects_zero_series(self):
+        from repro.bench.harness import _assemble_concat
+
+        with pytest.raises(ValueError, match="zero cell series"):
+            _assemble_concat([])
+
+    def test_run_experiments_names_zero_cell_experiments(self, monkeypatch):
+        import repro.bench.harness as harness
+        from repro.bench.harness import ExperimentSpec
+
+        def fake_specs(node_count=None):
+            return {"hollow": ExperimentSpec("hollow", "no cells", [])}
+
+        monkeypatch.setattr(harness, "experiment_specs", fake_specs)
+        with pytest.raises(ValueError, match="zero cells: hollow"):
+            run_experiments(None, node_count=NODES)

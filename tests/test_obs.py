@@ -58,6 +58,46 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             reg.counter("tx").inc(-1)
 
+    def test_counter_rejects_non_finite(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("tx")
+        counter.inc(2)
+        for bad in (float("nan"), float("inf"), float("-inf"), "three", None):
+            with pytest.raises(ValueError, match="finite number"):
+                counter.inc(bad)
+        assert counter.value == 2  # nothing leaked into the sum
+
+    def test_gauge_rejects_non_finite(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        gauge.set(4)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite number"):
+                gauge.set(bad)
+            with pytest.raises(ValueError, match="finite number"):
+                gauge.inc(bad)
+            with pytest.raises(ValueError, match="finite number"):
+                gauge.dec(bad)
+        assert gauge.value == 4
+
+    def test_histogram_rejects_non_finite(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency")
+        hist.observe(1.0)
+        for bad in (float("nan"), float("inf"), float("-inf"), "fast"):
+            with pytest.raises(ValueError, match="finite number"):
+                hist.observe(bad)
+        assert hist.count == 1 and hist.sum == 1.0
+        assert hist.min == 1.0 and hist.max == 1.0
+
+    def test_null_instruments_still_accept_anything(self):
+        # The disabled registry's shared no-op instrument must stay a
+        # no-op: validation lives on the real instruments only.
+        from repro.obs.metrics import NULL_REGISTRY
+
+        NULL_REGISTRY.counter("tx").inc(float("nan"))
+        NULL_REGISTRY.histogram("latency").observe(float("inf"))
+
     def test_gauge_set_inc_dec(self):
         reg = MetricsRegistry()
         gauge = reg.gauge("depth")

@@ -497,3 +497,91 @@ def test_run_until_already_processed_event_returns_immediately():
     assert ev.processed
     assert env.run_until(ev, deadline=0.0) is True
     assert env.now == 0.0
+
+
+# -- bucketed-queue semantics (the perf rewrite's behavioral contract) -------
+
+
+def test_zero_delay_events_scheduled_mid_drain_fire_in_same_pass():
+    # A callback appending to the *current* time bucket must be drained in
+    # insertion order before the clock moves on — the bucketed queue's
+    # replacement for the old (time, serial) heap tiebreaker.
+    env = Environment()
+    log = []
+
+    def child(name):
+        # The process-init event lands in the *currently draining* bucket.
+        log.append((env.now, name))
+        yield env.timeout(1.0)
+        log.append((env.now, f"{name}-later"))
+
+    def parent():
+        yield env.timeout(1.0)
+        log.append((env.now, "parent"))
+        env.process(child("child"))
+
+    env.process(parent())
+    env.run()
+    assert log == [(1.0, "parent"), (1.0, "child"), (2.0, "child-later")]
+
+
+def test_interleaved_bursts_keep_per_time_insertion_order():
+    env = Environment()
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    # Schedule out of time order, several events per timestamp.
+    for name, delay in [("c1", 3.0), ("a1", 1.0), ("c2", 3.0),
+                        ("b1", 2.0), ("a2", 1.0), ("b2", 2.0)]:
+        env.process(proc(name, delay))
+    env.run()
+    assert log == [(1.0, "a1"), (1.0, "a2"), (2.0, "b1"),
+                   (2.0, "b2"), (3.0, "c1"), (3.0, "c2")]
+
+
+def test_callback_exception_mid_bucket_leaves_queue_consistent():
+    env = Environment()
+    log = []
+
+    def ok(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    def boom():
+        yield env.timeout(1.0)
+        raise RuntimeError("mid-bucket failure")
+
+    env.process(ok("before"))
+    env.process(boom())
+    env.process(ok("after"))
+    with pytest.raises(RuntimeError, match="mid-bucket failure"):
+        env.run()
+    # The failed event was consumed; the rest of the bucket still fires.
+    env.run()
+    assert log == ["before", "after"]
+    assert env.peek() == float("inf")
+
+
+def test_step_and_run_drain_buckets_identically():
+    def build():
+        env = Environment()
+        log = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+        for name, delay in [("x", 1.0), ("y", 1.0), ("z", 2.0)]:
+            env.process(proc(name, delay))
+        return env, log
+
+    run_env, run_log = build()
+    run_env.run()
+
+    step_env, step_log = build()
+    while step_env.peek() != float("inf"):
+        step_env.step()
+    assert step_log == run_log

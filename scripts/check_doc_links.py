@@ -5,7 +5,10 @@ Usage::
     python scripts/check_doc_links.py [FILE ...]
 
 With no arguments, checks ``docs/*.md`` plus the top-level README.md,
-EXPERIMENTS.md and DESIGN.md.  External links (``http(s)://``, ``mailto:``)
+EXPERIMENTS.md and DESIGN.md — and additionally fails on *orphaned* docs
+pages: every ``docs/*.md`` must be reachable from README.md by following
+relative Markdown links, so new documentation cannot silently fall out of
+the reading path.  External links (``http(s)://``, ``mailto:``)
 and pure in-page anchors (``#...``) are skipped; a relative target's
 optional ``#fragment`` is ignored.  Exits non-zero listing every broken
 link — CI runs this so documentation cannot drift away from the tree.
@@ -40,23 +43,63 @@ def broken_links(path: Path) -> list:
     return broken
 
 
+def reachable_markdown(start: Path) -> set:
+    """Every Markdown file reachable from ``start`` via relative links."""
+    seen = set()
+    frontier = [start.resolve()]
+    while frontier:
+        path = frontier.pop()
+        if path in seen or not path.exists():
+            continue
+        seen.add(path)
+        for target in LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            candidate = (path.parent / relative).resolve()
+            if candidate.suffix == ".md" and candidate not in seen:
+                frontier.append(candidate)
+    return seen
+
+
+def orphaned_docs() -> list:
+    """``docs/*.md`` pages not reachable from README.md via links."""
+    readme = REPO_ROOT / "README.md"
+    reachable = reachable_markdown(readme) if readme.exists() else set()
+    return [
+        path
+        for path in sorted((REPO_ROOT / "docs").glob("*.md"))
+        if path.resolve() not in reachable
+    ]
+
+
 def main(argv) -> int:
     if argv:
         files = [Path(name) for name in argv]
+        orphans = []
     else:
         files = sorted((REPO_ROOT / "docs").glob("*.md"))
         files += [REPO_ROOT / name for name in DEFAULT_FILES
                   if (REPO_ROOT / name).exists()]
+        orphans = orphaned_docs()
     failures = 0
     for path in files:
         for number, target in broken_links(path):
             print(f"{path.relative_to(REPO_ROOT)}:{number}: broken link -> {target}")
             failures += 1
+    for path in orphans:
+        print(
+            f"{path.relative_to(REPO_ROOT)}: orphaned page "
+            "(not reachable from README.md via Markdown links)"
+        )
+        failures += 1
     checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
     if failures:
-        print(f"{failures} broken link(s) across {len(files)} file(s)")
+        print(f"{failures} problem(s) across {len(files)} file(s)")
         return 1
-    print(f"all relative links resolve ({checked})")
+    print(f"all relative links resolve, no orphaned docs ({checked})")
     return 0
 
 

@@ -25,6 +25,20 @@ from typing import Optional, Sequence
 
 from .api import SensorNetworkDB
 from .errors import ReproError
+from .joins.runner import list_engines, snapshot_engine_names
+
+
+def _engine_epilog() -> str:
+    """Help-text inventory of every registered engine (kept in sync with
+    ``repro.joins.runner.list_engines`` — a test greps the two)."""
+    engines = list_engines()
+    snapshot = ", ".join(n for n, kind in engines.items() if kind == "snapshot")
+    stateful = ", ".join(n for n, kind in engines.items() if kind == "stateful")
+    return (
+        f"engines: {snapshot} (snapshot; usable as --algorithm); "
+        f"{stateful} (stateful continuous executors, driven per round via "
+        "repro.joins — see docs/architecture.md)"
+    )
 
 
 def _add_deployment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="SENS-Join (ICDE 2009) reproduction: simulate join queries "
         "over a wireless sensor network.",
+        epilog=_engine_epilog(),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -104,8 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--algorithm",
         default="sens-join",
-        choices=["sens-join", "external-join"],
-        help="join method",
+        choices=snapshot_engine_names(),
+        help="join method (any registered snapshot engine)",
     )
     query.add_argument("--limit", type=int, default=10, help="rows to print")
     _add_deployment_arguments(query)

@@ -385,6 +385,21 @@ def experiment_specs(node_count: Optional[int] = None) -> Dict[str, ExperimentSp
             for f in (0.0, 0.02, 0.05, 0.1)
         ],
     )
+    add(
+        "concurrency",
+        "multi-query broker: shared-work amortization vs serial",
+        "concurrency_study",
+        [
+            {
+                "workloads": [w],
+                "concurrency_levels": [c],
+                "node_count": min(n, 300),
+                "seed": 0,
+            }
+            for w in ("poisson", "bursty")
+            for c in (1, 2, 4, 8)
+        ],
+    )
     return specs
 
 

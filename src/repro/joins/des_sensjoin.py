@@ -42,7 +42,7 @@ subtrees, and full tuples lost because their Treecut proxy died.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional
 
 from .. import constants
 from ..codec.quadtree import FlaggedPoint
@@ -165,6 +165,9 @@ class DesSensJoin(JoinAlgorithm):
         tracer: Optional[Tracer] = None,
         repair_seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        filter_override: Optional[
+            Callable[[TupleFormat, FrozenSet[FlaggedPoint]], FrozenSet[FlaggedPoint]]
+        ] = None,
     ):
         self.fault_plan = fault_plan
         self.recovery = recovery
@@ -176,6 +179,18 @@ class DesSensJoin(JoinAlgorithm):
         else:
             self.tracer = None
         self.repair_seed = repair_seed
+        #: Same work-sharing hook as :class:`~repro.joins.sensjoin.SensJoin`:
+        #: replaces the base station's ``build_join_filter`` call; must
+        #: return a superset of the single-query filter (conservative
+        #: semantics keep the exact final join correct under supersets).
+        self.filter_override = filter_override
+
+    def _build_filter(
+        self, fmt: TupleFormat, points: FrozenSet[FlaggedPoint]
+    ) -> FrozenSet[FlaggedPoint]:
+        if self.filter_override is not None:
+            return self.filter_override(fmt, points)
+        return build_join_filter(fmt, points)
 
     def instrument(self, telemetry: Telemetry) -> None:
         """Attach a live telemetry (spans under the kernel clock)."""
@@ -614,7 +629,7 @@ class DesSensJoin(JoinAlgorithm):
                 points = union_points(
                     points, [(proxied.flags, fmt.quantizer.encode(join_values))]
                 )
-            join_filter = build_join_filter(fmt, points)
+            join_filter = self._build_filter(fmt, points)
             details["filter_points"] = float(len(join_filter))
             awake = [child for child in children if not exited[child]]
             subtree = mailbox.points

@@ -21,10 +21,11 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from ..codec.quadtree import FlaggedPoint
+from ..codec.setops import union_points
 from ..query.evaluate import CellBounds, conservative_semijoin
 from .base import TupleFormat
 
-__all__ = ["build_join_filter"]
+__all__ = ["build_join_filter", "compose_filters"]
 
 
 def build_join_filter(
@@ -56,3 +57,23 @@ def build_join_filter(
             z = zs[index]
             surviving_flags[z] = surviving_flags.get(z, 0) | bit
     return frozenset((flags, z) for z, flags in surviving_flags.items())
+
+
+def compose_filters(
+    filters: Iterable[FrozenSet[FlaggedPoint]],
+) -> FrozenSet[FlaggedPoint]:
+    """Unite per-query join filters over one quantized domain into one.
+
+    The callers (``repro.service.broker``) guarantee the filters share a
+    :class:`TupleFormat` up to the join predicate: same aliases in the same
+    order (so alias-flag bits agree) and the same quantizer (so Z-numbers
+    index the same cells).  Under that premise the flag-OR union is a
+    conservative filter for *every* member query — it is a superset of each
+    per-query filter, so no joining tuple of any query is dismissed, and the
+    exact final join at the base station still discards every false
+    positive.  Flags of coinciding cells are OR-ed (``union_points``).
+    """
+    composed: FrozenSet[FlaggedPoint] = frozenset()
+    for points in filters:
+        composed = union_points(composed, points)
+    return composed

@@ -46,13 +46,13 @@ __all__ = [
     "run_with_failures",
     "NetworkFailure",
     "make_algorithm",
+    "list_engines",
+    "snapshot_engine_names",
     "instrumented",
 ]
 
-#: Default-constructible engines resolvable by name.  The stateful executors
-#: (``AdaptiveJoin``, ``IncrementalSensJoin``) are not listed — they hold
-#: per-round state and are driven through ``run_round`` instead of
-#: ``execute``, so callers construct them directly.
+#: Default-constructible snapshot engines resolvable by name through
+#: :func:`make_algorithm` (each implements ``execute``).
 _ALGORITHMS: dict[str, Callable[[], JoinAlgorithm]] = {
     "sens-join": SensJoin,
     "external-join": ExternalJoin,
@@ -60,6 +60,36 @@ _ALGORITHMS: dict[str, Callable[[], JoinAlgorithm]] = {
     "mediated-join": MediatedJoin,
     "des-sensjoin": DesSensJoin,
 }
+
+#: Stateful continuous executors.  They hold per-round state and are driven
+#: through ``run_round`` instead of ``execute`` (see ``repro.joins.adaptive``
+#: and ``repro.joins.incremental``), so :func:`make_algorithm` cannot build
+#: them — but every engine listing must still name them (the differential
+#: harness drives them under these names, ``repro.verify.generators.ENGINES``).
+_STATEFUL_ENGINES: dict[str, str] = {
+    "adaptive": "repro.joins.adaptive.AdaptiveJoin",
+    "incremental": "repro.joins.incremental.IncrementalSensJoin",
+}
+
+
+def snapshot_engine_names() -> list[str]:
+    """Sorted names of every engine :func:`make_algorithm` can construct."""
+    return sorted(_ALGORITHMS)
+
+
+def list_engines() -> dict[str, str]:
+    """Every registered engine, mapped to how it is driven.
+
+    ``"snapshot"`` engines resolve through :func:`make_algorithm` and run
+    one ``execute`` per query; ``"stateful"`` engines keep per-round state
+    and are constructed directly, then driven via ``run_round``.  This is
+    the single source of truth for user-facing engine listings (the
+    ``python -m repro`` CLI help text is generated from it, and a test
+    greps the two against each other).
+    """
+    engines = {name: "snapshot" for name in _ALGORITHMS}
+    engines.update({name: "stateful" for name in _STATEFUL_ENGINES})
+    return dict(sorted(engines.items()))
 
 
 def make_algorithm(
@@ -73,6 +103,12 @@ def make_algorithm(
     try:
         return _ALGORITHMS[name]()
     except KeyError:
+        if name in _STATEFUL_ENGINES:
+            raise ValueError(
+                f"{name!r} is a stateful continuous executor "
+                f"({_STATEFUL_ENGINES[name]}); construct it directly and "
+                "drive it through run_round instead of execute"
+            ) from None
         known = ", ".join(sorted(_ALGORITHMS))
         raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
 

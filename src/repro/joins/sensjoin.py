@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .. import constants
 from ..codec.compression import compressed_size, encode_raw_tuples
@@ -129,6 +129,9 @@ class SensJoin(JoinAlgorithm):
         config: SensJoinConfig = SensJoinConfig(),
         tracer: Optional[Tracer] = None,
         telemetry: Optional[Telemetry] = None,
+        filter_override: Optional[
+            Callable[[TupleFormat, FrozenSet[FlaggedPoint]], FrozenSet[FlaggedPoint]]
+        ] = None,
     ):
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -136,6 +139,18 @@ class SensJoin(JoinAlgorithm):
             self.tracer = tracer
         else:
             self.tracer = self.telemetry.tracer
+        #: Filter-reuse hook (multi-query work sharing): called with
+        #: ``(fmt, collected_points)`` in place of ``build_join_filter``.
+        #: The returned set must be a *superset* of the single-query filter
+        #: — conservative semantics keep the final join exact under any
+        #: superset, which is what lets a broker disseminate one composed
+        #: filter on behalf of several queries.
+        self.filter_override = filter_override
+        #: The complete tuples that reached the base station in step 2 of
+        #: the most recent :meth:`execute` (set by ``_final_phase``).  A
+        #: multi-query broker re-evaluates each member query exactly over
+        #: this one arrived set.
+        self.last_arrived_records: List[FullTupleRecord] = []
         if config.representation != "quadtree":
             self.name = f"sens-join[{config.representation}]"
 
@@ -210,7 +225,7 @@ class SensJoin(JoinAlgorithm):
             sp.end = bs_finish
 
         details["collection_finish_s"] = bs_finish
-        join_filter = build_join_filter(fmt, bs_points)
+        join_filter = self._build_filter(fmt, bs_points)
         details["filter_points"] = float(len(join_filter))
         details["filter_bytes"] = float(self._filter_bytes(fmt, join_filter))
 
@@ -239,6 +254,14 @@ class SensJoin(JoinAlgorithm):
             response_time_s=phase_overhead + response_time,
             details=details,
         )
+
+    def _build_filter(
+        self, fmt: TupleFormat, points: FrozenSet[FlaggedPoint]
+    ) -> FrozenSet[FlaggedPoint]:
+        """The filter to disseminate: single-query build, or the override."""
+        if self.filter_override is not None:
+            return self.filter_override(fmt, points)
+        return build_join_filter(fmt, points)
 
     # -- step 1a -------------------------------------------------------------------
 
@@ -543,6 +566,7 @@ class SensJoin(JoinAlgorithm):
             finish[node_id] = children_finish + channel.last_send_latency_s
 
         arrived = carried[BASE_STATION_ID]
+        self.last_arrived_records = list(arrived)
         tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
         for record in arrived:
             for alias in fmt.aliases_of_flags(record.flags):

@@ -14,14 +14,24 @@ be included via the report's phase filters.
 from __future__ import annotations
 
 from collections import deque
-from typing import Set
+from typing import Sequence, Set
 
 from ..sim.network import Network
 from ..sim.node import BASE_STATION_ID
 
-__all__ = ["flood_query", "QUERY_DISSEMINATION_PHASE"]
+__all__ = [
+    "flood_query",
+    "flood_batch",
+    "QUERY_DISSEMINATION_PHASE",
+    "PIGGYBACK_HEADER_BYTES",
+]
 
 QUERY_DISSEMINATION_PHASE = "query-dissemination"
+
+#: Per-item framing overhead when several payloads share one flood: each
+#: piggybacked item is prefixed by a length/id header so receivers can
+#: split the combined packet back into its constituents.
+PIGGYBACK_HEADER_BYTES = 2
 
 
 def flood_query(network: Network, query_bytes: int, phase: str = QUERY_DISSEMINATION_PHASE) -> Set[int]:
@@ -47,3 +57,38 @@ def flood_query(network: Network, query_bytes: int, phase: str = QUERY_DISSEMINA
                 reached.add(listener)
                 queue.append(listener)
     return reached
+
+
+def flood_batch(
+    network: Network,
+    item_bytes: Sequence[int],
+    phase: str = QUERY_DISSEMINATION_PHASE,
+    header_bytes: int = PIGGYBACK_HEADER_BYTES,
+) -> Set[int]:
+    """Flood several payloads piggybacked in *one* dissemination wave.
+
+    A multi-query broker admits a batch of queries at once; flooding each
+    query (or each share group's composed filter) separately costs one
+    whole wave per item.  Piggybacking concatenates the items — plus a
+    small per-item header when there is more than one — into a single
+    payload that rides one flood, so the per-hop broadcast count is paid
+    once for the entire batch and only the payload grows.  With one item
+    this degrades exactly to :func:`flood_query` (no header).
+
+    Returns the set of node ids reached.  Zero-size items are dropped; an
+    all-empty batch transmits nothing.
+    """
+    if header_bytes < 0:
+        raise ValueError(f"negative header size: {header_bytes}")
+    sizes = []
+    for size in item_bytes:
+        if size < 0:
+            raise ValueError(f"negative item size: {size}")
+        if size > 0:
+            sizes.append(size)
+    if not sizes:
+        return {BASE_STATION_ID}
+    payload = sum(sizes)
+    if len(sizes) > 1:
+        payload += header_bytes * len(sizes)
+    return flood_query(network, payload, phase)

@@ -1,0 +1,36 @@
+"""Multi-query service layer: broker, admission, work sharing, workloads.
+
+The paper evaluates SENS-Join one query at a time (§III inputs a single
+query at the base station).  This package is the scale-out extension the
+ROADMAP's "heavy traffic" north star asks for: a :class:`QueryBroker` that
+admits many concurrent queries against one deployment, batches their
+phase-1a collection rounds, composes their join filters over shared
+quantized domains, piggybacks filter dissemination, and reports per-query
+latency percentiles plus network-wide energy amortization.
+
+See ``docs/service.md`` for the architecture and sharing rules.
+"""
+
+from .broker import BrokerConfig, BrokerReport, QueryBroker, QueryOutcome, sharing_signature
+from .workloads import (
+    QueryRequest,
+    WorkloadSpec,
+    bursty_arrivals,
+    generate_workload,
+    poisson_arrivals,
+    zipf_weights,
+)
+
+__all__ = [
+    "BrokerConfig",
+    "BrokerReport",
+    "QueryBroker",
+    "QueryOutcome",
+    "sharing_signature",
+    "QueryRequest",
+    "WorkloadSpec",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "zipf_weights",
+    "generate_workload",
+]

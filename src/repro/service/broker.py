@@ -1,0 +1,519 @@
+"""The concurrent multi-query broker: admission, batching, work sharing.
+
+The paper runs one query at a time; the broker runs *many* against one
+deployment and recovers the redundancy between them:
+
+1.  **Admission.**  Requests queue FIFO by arrival time.  When the network
+    is free, the broker admits every already-arrived request up to the
+    configured ``concurrency`` limit into one *batch* — one network epoch.
+
+2.  **Share groups.**  A batch is partitioned by
+    :func:`sharing_signature`: queries agreeing on aliases, relations,
+    join attributes, full-tuple attributes and selection predicates (i.e.
+    differing at most in the join predicate) share one quantized domain —
+    their phase-1a traffic is *identical*, so the group runs
+    Join-Attribute-Collection **once**.  From the one collected point set
+    the base station builds each member query's join filter and unites
+    them (:func:`~repro.joins.filterbuild.compose_filters`) into a single
+    conservative filter: a superset of every per-query filter, so the
+    exactness argument of §IV survives — the final join per query discards
+    all false positives the wider filter lets through.
+
+3.  **Piggybacked dissemination.**  The composed filters of *different*
+    groups ride the same pre-order wave: at each node every group prunes
+    its own filter against its SubtreeJoinAtts (Selective Filter
+    Forwarding, per group), and whatever survives is concatenated — plus a
+    small per-filter header — into **one** broadcast instead of one wave
+    per group.  The final phase then runs once per group and each member
+    query is evaluated exactly over the group's arrived complete tuples.
+
+With ``share_work=False`` (or ``concurrency=1``) every admitted query runs
+through the unmodified single-query path (:func:`repro.joins.runner.run_snapshot`),
+serially — byte-identical outcomes to issuing the queries one by one, which
+is both the correctness baseline and the denominator of the amortization
+numbers reported by the ``concurrency_study`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .. import constants
+from ..codec.quadtree import FlaggedPoint
+from ..codec.setops import intersect_points
+from ..joins.base import ExecutionContext, FullTupleRecord, TupleFormat
+from ..joins.filterbuild import build_join_filter, compose_filters
+from ..joins.runner import run_snapshot
+from ..joins.sensjoin import PHASE_FILTER, SensJoin, _NodeState
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from ..query.evaluate import JoinResult, Row, evaluate_join
+from ..query.query import JoinQuery
+from ..routing.ctp import build_tree
+from ..routing.dissemination import PIGGYBACK_HEADER_BYTES, flood_batch
+from ..routing.tree import RoutingTree
+from ..sim.network import Network
+from ..sim.node import BASE_STATION_ID
+from ..sim.trace import (
+    BROKER_ADMIT,
+    BROKER_BATCH,
+    BROKER_COMPLETE,
+    FILTER_COMPOSED,
+    FILTER_PIGGYBACK,
+    FILTER_PRUNED,
+)
+from .workloads import QueryRequest
+
+__all__ = [
+    "BrokerConfig",
+    "QueryBroker",
+    "QueryOutcome",
+    "BrokerReport",
+    "sharing_signature",
+]
+
+
+def sharing_signature(query: JoinQuery) -> Tuple:
+    """What must agree for two queries to share phase-1a work.
+
+    The collected join-attribute points depend on the aliases (flag bits),
+    the relations behind them (which nodes hold tuples), the join/full
+    attribute sets (the quantized domain and payload sizes) and the
+    selection predicates (applied at acquisition time) — but **not** on
+    the join predicate, which only enters at the base station when the
+    filter is built.  Queries equal under this key therefore produce
+    identical phase-1a traffic and may differ in their join condition.
+    """
+    return (
+        tuple(query.aliases),
+        tuple(query.relation_of(alias) for alias in query.aliases),
+        tuple(tuple(query.join_attributes(alias)) for alias in query.aliases),
+        tuple(tuple(query.full_tuple_attributes(alias)) for alias in query.aliases),
+        tuple(
+            tuple(sorted(p.sql() for p in query.selection_predicates(alias)))
+            for alias in query.aliases
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Broker knobs.
+
+    ``concurrency`` caps how many queries one batch admits; ``share_work``
+    turns the group/compose/piggyback machinery on (off = the serial
+    single-query reference path); ``engine`` picks the snapshot engine for
+    the no-sharing path; ``disseminate_queries`` additionally floods the
+    admitted queries' text in one piggybacked wave (off by default,
+    matching ``run_snapshot``).
+    """
+
+    concurrency: int = 8
+    share_work: bool = True
+    engine: str = "sens-join"
+    disseminate_queries: bool = False
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {self.concurrency}")
+
+
+@dataclass
+class QueryOutcome:
+    """Per-query completion record."""
+
+    request: QueryRequest
+    result: JoinResult
+    admitted_s: float
+    completed_s: float
+    latency_s: float
+    energy_share_j: float
+    tx_share_packets: float
+    group_size: int
+    batch_index: int
+
+    def result_set(self, digits: int = 9) -> frozenset:
+        return self.result.result_set(digits)
+
+
+@dataclass
+class BrokerReport:
+    """Everything one :meth:`QueryBroker.run` produced."""
+
+    outcomes: List[QueryOutcome]
+    total_energy_j: float
+    total_tx_packets: int
+    batch_count: int
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile over all completed queries."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        if not self.outcomes:
+            raise ValueError("no completed queries")
+        ordered = sorted(outcome.latency_s for outcome in self.outcomes)
+        rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+@dataclass
+class _GroupWave:
+    """One share group's protocol state while its batch executes."""
+
+    requests: List[QueryRequest]
+    engine: SensJoin
+    context: ExecutionContext
+    fmt: TupleFormat
+    states: Dict[int, _NodeState]
+    details: Dict[str, float]
+    composed: FrozenSet[FlaggedPoint] = frozenset()
+    finish_1a: float = 0.0
+    energy_j: float = 0.0
+    tx_packets: float = 0.0
+
+
+class QueryBroker:
+    """Admit, schedule and execute many queries on one network.
+
+    The broker owns a single routing tree (built once — concurrent queries
+    share the converged topology) and a simulated wall clock.  Batches run
+    back to back; a query's latency is *completion − arrival*, so time
+    spent waiting in the admission queue counts.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        world,
+        config: BrokerConfig = BrokerConfig(),
+        tree: Optional[RoutingTree] = None,
+        tree_seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.network = network
+        self.world = world
+        self.config = config
+        self.tree = tree if tree is not None else build_tree(network, seed=tree_seed)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.tracer = self.telemetry.tracer
+
+    # -- admission loop ------------------------------------------------------
+
+    def run(self, requests: Sequence[QueryRequest]) -> BrokerReport:
+        """Drain the request stream; returns the per-query outcome report."""
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.query_id))
+        outcomes: List[QueryOutcome] = []
+        reg = self.telemetry.registry
+        clock = 0.0
+        batch_index = 0
+        total_energy = 0.0
+        total_tx = 0
+        composed_total = 0
+        piggyback_total = 0
+        group_total = 0
+        index = 0
+        while index < len(pending):
+            start = max(clock, pending[index].arrival_s)
+            batch: List[QueryRequest] = []
+            while (
+                index < len(pending)
+                and len(batch) < self.config.concurrency
+                and pending[index].arrival_s <= start
+            ):
+                batch.append(pending[index])
+                index += 1
+            for request in batch:
+                self.tracer.emit(
+                    start, BASE_STATION_ID, BROKER_ADMIT,
+                    query=request.query_id, waited_s=round(start - request.arrival_s, 6),
+                )
+            share = self.config.share_work and len(batch) > 1
+            self.tracer.emit(
+                start, BASE_STATION_ID, BROKER_BATCH,
+                index=batch_index, size=len(batch), shared=share,
+            )
+            if share:
+                batch_outcomes, stats = self._execute_batch_shared(
+                    batch, start, batch_index
+                )
+                composed_total += stats["composed_filters"]
+                piggyback_total += stats["piggybacked_broadcasts"]
+                group_total += stats["share_groups"]
+            else:
+                batch_outcomes = self._execute_batch_serial(batch, start, batch_index)
+                group_total += len(batch)
+            for outcome in batch_outcomes:
+                total_energy += outcome.energy_share_j
+                total_tx += outcome.tx_share_packets
+                clock = max(clock, outcome.completed_s)
+                self.tracer.emit(
+                    outcome.completed_s, BASE_STATION_ID, BROKER_COMPLETE,
+                    query=outcome.request.query_id,
+                    latency_s=round(outcome.latency_s, 6),
+                )
+                if reg.enabled:
+                    reg.counter("broker_queries_total").inc()
+                    reg.histogram("broker_query_latency_seconds").observe(
+                        outcome.latency_s
+                    )
+            outcomes.extend(batch_outcomes)
+            if reg.enabled:
+                reg.counter("broker_batches_total").inc()
+            batch_index += 1
+        if reg.enabled:
+            reg.counter("broker_share_groups_total").inc(group_total)
+            reg.counter("broker_composed_filters_total").inc(composed_total)
+            reg.counter("broker_piggybacked_broadcasts_total").inc(piggyback_total)
+        details = {
+            "queries": float(len(outcomes)),
+            "batches": float(batch_index),
+            "share_groups": float(group_total),
+            "composed_filters": float(composed_total),
+            "piggybacked_broadcasts": float(piggyback_total),
+            "makespan_s": clock,
+        }
+        return BrokerReport(
+            outcomes=outcomes,
+            total_energy_j=total_energy,
+            total_tx_packets=int(round(total_tx)),
+            batch_count=batch_index,
+            details=details,
+        )
+
+    # -- no-sharing reference path -------------------------------------------
+
+    def _execute_batch_serial(
+        self, batch: List[QueryRequest], start: float, batch_index: int
+    ) -> List[QueryOutcome]:
+        """One query at a time through the unmodified single-query path."""
+        outcomes = []
+        clock = start
+        for request in batch:
+            outcome = run_snapshot(
+                self.network,
+                self.world,
+                request.query,
+                algorithm=self.config.engine,
+                tree=self.tree,
+                disseminate_query=self.config.disseminate_queries,
+                telemetry=self.telemetry if self.telemetry.enabled else None,
+            )
+            completed = clock + outcome.response_time_s
+            outcomes.append(
+                QueryOutcome(
+                    request=request,
+                    result=outcome.result,
+                    admitted_s=start,
+                    completed_s=completed,
+                    latency_s=completed - request.arrival_s,
+                    energy_share_j=self.network.total_energy(),
+                    tx_share_packets=float(outcome.total_transmissions),
+                    group_size=1,
+                    batch_index=batch_index,
+                )
+            )
+            clock = completed
+        return outcomes
+
+    # -- shared execution ----------------------------------------------------
+
+    def _execute_batch_shared(
+        self, batch: List[QueryRequest], start: float, batch_index: int
+    ) -> Tuple[List[QueryOutcome], Dict[str, float]]:
+        """One network epoch for the whole batch, with work sharing."""
+        network, tree, world = self.network, self.tree, self.world
+        network.reset_accounting()
+        energy_mark = 0.0
+        tx_mark = 0.0
+
+        def take_delta() -> Tuple[float, float]:
+            nonlocal energy_mark, tx_mark
+            energy = network.total_energy()
+            tx = float(network.stats.total_tx_packets())
+            delta = (energy - energy_mark, tx - tx_mark)
+            energy_mark, tx_mark = energy, tx
+            return delta
+
+        # One piggybacked flood disseminates every admitted query's text.
+        if self.config.disseminate_queries:
+            flood_batch(
+                network, [len(r.query.sql().encode()) for r in batch]
+            )
+        world.take_snapshot(start)
+        diss_energy, diss_tx = take_delta()
+
+        # Partition into share groups, in batch (= admission) order.
+        waves: List[_GroupWave] = []
+        by_signature: Dict[Tuple, _GroupWave] = {}
+        for request in batch:
+            key = sharing_signature(request.query)
+            wave = by_signature.get(key)
+            if wave is None:
+                context = ExecutionContext(
+                    network=network, tree=tree, world=world, query=request.query
+                )
+                wave = _GroupWave(
+                    requests=[],
+                    engine=SensJoin(telemetry=self.telemetry),
+                    context=context,
+                    fmt=context.tuple_format(),
+                    states={nid: _NodeState() for nid in tree.node_ids},
+                    details={},
+                )
+                by_signature[key] = wave
+                waves.append(wave)
+            wave.requests.append(request)
+
+        # Phase 1a once per group; per-query filters composed per group.
+        for wave in waves:
+            bs_points, finish_1a = wave.engine._collection_phase(
+                wave.context, wave.fmt, wave.states, False, wave.details
+            )
+            wave.finish_1a = finish_1a
+            per_query = [
+                build_join_filter(TupleFormat(r.query, world), bs_points)
+                for r in wave.requests
+            ]
+            wave.composed = compose_filters(per_query)
+            self.tracer.emit(
+                finish_1a, BASE_STATION_ID, FILTER_COMPOSED,
+                queries=len(wave.requests), points=len(wave.composed),
+            )
+            energy, tx = take_delta()
+            wave.energy_j += energy
+            wave.tx_packets += tx
+
+        # Phase 1b: all groups' filters ride one pre-order wave.
+        piggybacked = self._disseminate_filters(waves, start_time=max(
+            wave.finish_1a for wave in waves
+        ))
+        energy, tx = take_delta()
+        # Query dissemination + the merged filter wave serve every member
+        # of the batch; their cost is split evenly.
+        shared_share = (energy + diss_energy) / len(batch)
+        shared_tx = (tx + diss_tx) / len(batch)
+
+        # Phase 2 once per group; exact per-query evaluation over the
+        # group's arrived complete tuples.
+        outcomes: List[QueryOutcome] = []
+        for wave in waves:
+            _, finish = wave.engine._final_phase(
+                wave.context, wave.fmt, wave.states, wave.details
+            )
+            energy, tx = take_delta()
+            wave.energy_j += energy
+            wave.tx_packets += tx
+            arrived = wave.engine.last_arrived_records
+            duration = 3 * tree.height * constants.DEFAULT_LEVEL_SLOT_S + finish
+            completed = start + duration
+            for request in wave.requests:
+                result = _evaluate_for(request.query, wave.fmt, arrived)
+                outcomes.append(
+                    QueryOutcome(
+                        request=request,
+                        result=result,
+                        admitted_s=start,
+                        completed_s=completed,
+                        latency_s=completed - request.arrival_s,
+                        energy_share_j=wave.energy_j / len(wave.requests)
+                        + shared_share,
+                        tx_share_packets=wave.tx_packets / len(wave.requests)
+                        + shared_tx,
+                        group_size=len(wave.requests),
+                        batch_index=batch_index,
+                    )
+                )
+        outcomes.sort(key=lambda o: o.request.query_id)
+        stats = {
+            "share_groups": float(len(waves)),
+            "composed_filters": float(
+                sum(1 for wave in waves if len(wave.requests) > 1)
+            ),
+            "piggybacked_broadcasts": float(piggybacked),
+        }
+        return outcomes, stats
+
+    def _disseminate_filters(
+        self, waves: List[_GroupWave], start_time: float
+    ) -> int:
+        """Pre-order filter dissemination with cross-group piggybacking.
+
+        Mirrors :meth:`SensJoin._filter_phase` per group — Selective Filter
+        Forwarding prunes each group's filter independently — but at every
+        node the surviving filters are concatenated (plus a per-filter
+        header) into a single broadcast to the union of the groups' awake
+        children.  Returns how many broadcasts carried more than one
+        group's filter.
+        """
+        tree = self.tree
+        channel = self.network.channel
+        piggybacked = 0
+        for wave in waves:
+            bs_state = wave.states[BASE_STATION_ID]
+            bs_state.filter_received = wave.composed
+            bs_state.filter_arrival = start_time
+        for node_id in tree.pre_order():
+            sendable: List[Tuple[_GroupWave, FrozenSet[FlaggedPoint], List[int]]] = []
+            departure = start_time
+            for wave in waves:
+                state = wave.states[node_id]
+                if state.exited:
+                    continue
+                incoming = state.filter_received
+                if incoming is None or not incoming:
+                    continue
+                awake = [
+                    c for c in tree.children(node_id) if not wave.states[c].exited
+                ]
+                if not awake:
+                    continue
+                if state.subtree_atts is not None:
+                    pruned = intersect_points(incoming, state.subtree_atts)
+                else:
+                    pruned = incoming
+                if not pruned:
+                    self.tracer.emit(state.filter_arrival, node_id, FILTER_PRUNED)
+                    continue
+                sendable.append((wave, pruned, awake))
+                departure = max(departure, state.filter_arrival)
+            if not sendable:
+                continue
+            receivers = sorted({c for _, _, awake in sendable for c in awake})
+            payload = sum(
+                wave.engine._filter_bytes(wave.fmt, pruned)
+                for wave, pruned, _ in sendable
+            )
+            if len(sendable) > 1:
+                payload += PIGGYBACK_HEADER_BYTES * len(sendable)
+                piggybacked += 1
+                self.tracer.emit(
+                    departure, node_id, FILTER_PIGGYBACK,
+                    filters=len(sendable), bytes=payload,
+                )
+            channel.broadcast(node_id, receivers, payload, PHASE_FILTER)
+            arrival = departure + channel.last_send_latency_s
+            for wave, pruned, awake in sendable:
+                for child in awake:
+                    wave.states[child].filter_received = pruned
+                    wave.states[child].filter_arrival = arrival
+        return piggybacked
+
+
+def _evaluate_for(
+    query: JoinQuery, fmt: TupleFormat, arrived: List[FullTupleRecord]
+) -> JoinResult:
+    """Exact evaluation of one member query over the group's arrived tuples.
+
+    ``fmt`` is the group representative's format; the sharing signature
+    guarantees identical aliases and flag bits across the group, so the
+    alias routing below is valid for every member.  Selections were already
+    applied at acquisition time (identical within the group), hence
+    ``apply_selections=False`` — the same contract as the single-query
+    final phase.
+    """
+    tuples_by_alias: Dict[str, List[Row]] = {alias: [] for alias in fmt.aliases}
+    for record in arrived:
+        for alias in fmt.aliases_of_flags(record.flags):
+            tuples_by_alias[alias].append(Row(record.node_id, dict(record.values)))
+    return evaluate_join(query, tuples_by_alias, apply_selections=False)

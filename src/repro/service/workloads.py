@@ -1,0 +1,193 @@
+"""Seeded workload generators for the multi-query broker.
+
+Three classic arrival models drive the ``concurrency_study`` experiment:
+
+* **Poisson** — memoryless arrivals at a mean rate (exponential gaps), the
+  standard open-system model;
+* **bursty on/off** — arrivals only during ON windows, at a rate boosted so
+  the long-run mean matches; models diurnal or alarm-driven load where many
+  queries hit the broker nearly at once (the case work sharing exists for);
+* **Zipf query popularity** — which query *template* each arrival draws is
+  Zipf-distributed, so a few hot templates dominate, maximizing the chance
+  that co-admitted queries share a quantized join-attribute domain.
+
+Everything is driven by :class:`random.Random` seeded from explicit string
+keys (stable across processes and platforms — ``random.Random(str)`` seeds
+via a hash of the bytes, not ``PYTHONHASHSEED``), so one ``(spec, templates)``
+pair always yields the identical request stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..query.query import JoinQuery
+
+__all__ = [
+    "QueryRequest",
+    "WorkloadSpec",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "zipf_weights",
+    "generate_workload",
+]
+
+WORKLOAD_KINDS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query arriving at the broker.
+
+    ``query_id`` is the arrival index (unique within a workload),
+    ``arrival_s`` the simulated arrival time, ``template_index`` which
+    template of the pool the Zipf draw picked.
+    """
+
+    query_id: int
+    arrival_s: float
+    template_index: int
+    query: JoinQuery
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Fully pinned workload description (JSON-clean, hashable).
+
+    ``rate_hz`` is the long-run mean arrival rate for both kinds; the
+    bursty generator compresses the same mean load into ON windows of
+    ``burst_on_s`` seconds separated by silent ``burst_off_s`` gaps.
+    ``zipf_s`` is the popularity skew (0 = uniform template choice).
+    """
+
+    kind: str = "poisson"
+    rate_hz: float = 0.05
+    count: int = 16
+    seed: int = 0
+    zipf_s: float = 1.1
+    burst_on_s: float = 30.0
+    burst_off_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; known: {WORKLOAD_KINDS}"
+            )
+        if self.rate_hz <= 0:
+            raise ValueError(f"arrival rate must be positive: {self.rate_hz}")
+        if self.count < 1:
+            raise ValueError(f"need at least one query: {self.count}")
+        if self.zipf_s < 0:
+            raise ValueError(f"negative Zipf skew: {self.zipf_s}")
+        if self.burst_on_s <= 0 or self.burst_off_s < 0:
+            raise ValueError("burst windows: on > 0 and off >= 0 required")
+
+
+def poisson_arrivals(rate_hz: float, count: int, seed: int) -> List[float]:
+    """``count`` Poisson-process arrival times at mean rate ``rate_hz``."""
+    if rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive: {rate_hz}")
+    if count < 0:
+        raise ValueError(f"negative count: {count}")
+    rng = random.Random(f"poisson-arrivals-{seed}")
+    clock = 0.0
+    arrivals = []
+    for _ in range(count):
+        clock += rng.expovariate(rate_hz)
+        arrivals.append(clock)
+    return arrivals
+
+
+def bursty_arrivals(
+    rate_hz: float,
+    count: int,
+    seed: int,
+    burst_on_s: float = 30.0,
+    burst_off_s: float = 120.0,
+) -> List[float]:
+    """On/off arrivals: silent gaps, then dense bursts at a boosted rate.
+
+    The ON-window rate is scaled by ``(on + off) / on`` so the long-run
+    mean still equals ``rate_hz`` — the same offered load as the Poisson
+    model, just clumped.  Arrival times that would fall past an ON window's
+    end carry over into the next window.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"arrival rate must be positive: {rate_hz}")
+    if count < 0:
+        raise ValueError(f"negative count: {count}")
+    if burst_on_s <= 0 or burst_off_s < 0:
+        raise ValueError("burst windows: on > 0 and off >= 0 required")
+    rng = random.Random(f"bursty-arrivals-{seed}")
+    period = burst_on_s + burst_off_s
+    burst_rate = rate_hz * period / burst_on_s
+    window = 0  # index of the ON window we are currently filling
+    offset = 0.0  # position inside the current ON window
+    arrivals = []
+    for _ in range(count):
+        offset += rng.expovariate(burst_rate)
+        while offset >= burst_on_s:
+            offset -= burst_on_s
+            window += 1
+        arrivals.append(window * period + offset)
+    return arrivals
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Normalized Zipf popularity weights for ``n`` ranks (rank 1 hottest)."""
+    if n < 1:
+        raise ValueError(f"need at least one rank: {n}")
+    if s < 0:
+        raise ValueError(f"negative skew: {s}")
+    raw = [1.0 / (rank**s) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _zipf_pick(rng: random.Random, cumulative: Sequence[float]) -> int:
+    u = rng.random()
+    for index, bound in enumerate(cumulative):
+        if u < bound:
+            return index
+    return len(cumulative) - 1
+
+
+def generate_workload(
+    spec: WorkloadSpec, templates: Sequence[JoinQuery]
+) -> List[QueryRequest]:
+    """The request stream: seeded arrivals + Zipf-popular template choices.
+
+    Template popularity follows each template's position in ``templates``
+    (index 0 is the hottest).  The arrival clock and the popularity draws
+    use independent seeded streams, so changing the template pool size
+    never perturbs the arrival times.
+    """
+    if not templates:
+        raise ValueError("need at least one query template")
+    if spec.kind == "poisson":
+        arrivals = poisson_arrivals(spec.rate_hz, spec.count, spec.seed)
+    else:
+        arrivals = bursty_arrivals(
+            spec.rate_hz, spec.count, spec.seed, spec.burst_on_s, spec.burst_off_s
+        )
+    weights = zipf_weights(len(templates), spec.zipf_s)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    rng = random.Random(f"{spec.kind}-popularity-{spec.seed}")
+    requests = []
+    for query_id, arrival in enumerate(arrivals):
+        index = _zipf_pick(rng, cumulative)
+        requests.append(
+            QueryRequest(
+                query_id=query_id,
+                arrival_s=arrival,
+                template_index=index,
+                query=templates[index],
+            )
+        )
+    return requests

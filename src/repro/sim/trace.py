@@ -44,6 +44,11 @@ __all__ = [
     "FINAL_SEND",
     "SPAN_START",
     "SPAN_END",
+    "BROKER_ADMIT",
+    "BROKER_BATCH",
+    "BROKER_COMPLETE",
+    "FILTER_COMPOSED",
+    "FILTER_PIGGYBACK",
 ]
 
 # Well-known event kinds of the fault/recovery subsystem (§IV-F).
@@ -83,6 +88,20 @@ SPAN_START = "span-start"
 #: A phase span closed (detail carries ``span`` and ``duration_s``).
 SPAN_END = "span-end"
 
+# Multi-query broker events (emitted by repro.service.broker).
+#: A query left the admission queue and joined an execution batch.
+BROKER_ADMIT = "broker-admit"
+#: A batch of co-admitted queries started executing on the network.
+BROKER_BATCH = "broker-batch"
+#: A query's final result was computed; detail carries its latency.
+BROKER_COMPLETE = "broker-complete"
+#: Per-query join filters over the same quantized domain were united
+#: into one conservative filter disseminated once for the whole group.
+FILTER_COMPOSED = "filter-composed"
+#: Filters of several share groups rode one broadcast at this node
+#: (multi-filter piggybacking during dissemination).
+FILTER_PIGGYBACK = "filter-piggyback"
+
 #: Every registered event kind.  :func:`register_event_kind` extends the set
 #: for downstream protocols; traces must only contain registered kinds.
 KNOWN_EVENT_KINDS: set[str] = {
@@ -101,6 +120,11 @@ KNOWN_EVENT_KINDS: set[str] = {
     FINAL_SEND,
     SPAN_START,
     SPAN_END,
+    BROKER_ADMIT,
+    BROKER_BATCH,
+    BROKER_COMPLETE,
+    FILTER_COMPOSED,
+    FILTER_PIGGYBACK,
 }
 
 

@@ -66,6 +66,47 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_help_names_every_registered_engine(capsys):
+    """``python -m repro --help`` must list all engines in the registry —
+    snapshot engines as ``--algorithm`` choices, stateful ones in the
+    epilog (PR 5 bolted them on without surfacing them here)."""
+    from repro.verify.generators import ENGINES
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    # argparse reflows the epilog and may wrap inside a hyphenated engine
+    # name ("sens-\njoin"); undo the wrapping before matching.
+    out = capsys.readouterr().out.replace("-\n", "-").replace("\n", " ")
+    for engine in ENGINES:
+        assert engine in out, f"--help does not mention engine {engine!r}"
+
+
+def test_algorithm_choices_cover_snapshot_registry():
+    from repro.joins.runner import snapshot_engine_names
+
+    parser = build_parser()
+    for engine in snapshot_engine_names():
+        args = parser.parse_args(["query", SQL, "--algorithm", engine])
+        assert args.algorithm == engine
+
+
+def test_stateful_engine_rejected_as_algorithm(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["query", SQL, "--algorithm", "adaptive"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_query_all_snapshot_engines_run(capsys):
+    from repro.joins.runner import snapshot_engine_names
+
+    for engine in snapshot_engine_names():
+        code, out, _ = run_cli(
+            capsys, "query", SQL, "--algorithm", engine, "--nodes", "150"
+        )
+        assert code == 0, engine
+        assert "transmissions" in out, engine
+
+
 def test_row_limit_truncates(capsys):
     sql = "SELECT A.hum, B.hum FROM sensors A, sensors B WHERE A.temp - B.temp > 5 ONCE"
     code, out, _ = run_cli(capsys, "query", sql, "--nodes", "150", "--limit", "1")

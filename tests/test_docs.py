@@ -113,3 +113,63 @@ def test_wire_format_spec_exists_and_mentions_key_fields():
     for keyword in ("presence mask", "Z-number", "relation_flags",
                     "Decomposition threshold", "Canonicity"):
         assert keyword in spec, keyword
+
+
+def _load_checker():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "scripts" / "check_doc_links.py"
+    )
+    checker = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(checker)
+    return checker
+
+
+def test_no_orphaned_docs_pages():
+    """Every docs/*.md must be reachable from README.md via links."""
+    checker = _load_checker()
+    assert checker.orphaned_docs() == []
+
+
+def test_orphan_detection_catches_unlinked_page(tmp_path):
+    """The checker must flag a docs page nothing links to."""
+    checker = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("see [linked](docs/linked.md)\n")
+    (tmp_path / "docs" / "linked.md").write_text("fine\n")
+    (tmp_path / "docs" / "orphan.md").write_text("nobody links here\n")
+    checker.REPO_ROOT = tmp_path
+    try:
+        orphans = checker.orphaned_docs()
+    finally:
+        checker.REPO_ROOT = REPO_ROOT
+    assert [p.name for p in orphans] == ["orphan.md"]
+
+
+def test_orphan_detection_follows_transitive_links(tmp_path):
+    """Reachability is transitive: README -> a -> b keeps b un-orphaned."""
+    checker = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("see [a](docs/a.md)\n")
+    (tmp_path / "docs" / "a.md").write_text("see [b](b.md)\n")
+    (tmp_path / "docs" / "b.md").write_text("leaf\n")
+    checker.REPO_ROOT = tmp_path
+    try:
+        orphans = checker.orphaned_docs()
+    finally:
+        checker.REPO_ROOT = REPO_ROOT
+    assert orphans == []
+
+
+def test_service_doc_references_real_names():
+    doc = (REPO_ROOT / "docs" / "service.md").read_text()
+    from repro import service
+
+    for name in ("QueryBroker", "BrokerConfig", "WorkloadSpec",
+                 "generate_workload", "sharing_signature"):
+        assert name in doc, name
+        assert hasattr(service, name), name
+    for keyword in ("share group", "piggyback", "concurrency",
+                    "latency_percentile", "compose_filters"):
+        assert keyword in doc, keyword

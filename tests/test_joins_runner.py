@@ -6,10 +6,12 @@ from repro.data.relations import SensorWorld
 from repro.errors import ExecutionAborted
 from repro.joins.runner import (
     NetworkFailure,
+    list_engines,
     make_algorithm,
     run_continuous,
     run_snapshot,
     run_with_failures,
+    snapshot_engine_names,
 )
 from repro.query.parser import parse_query
 from repro.routing.dissemination import QUERY_DISSEMINATION_PHASE
@@ -23,6 +25,44 @@ def test_make_algorithm_resolution():
     assert make_algorithm(instance) is instance
     with pytest.raises(ValueError, match="unknown algorithm"):
         make_algorithm("hash-join")
+
+
+def test_engine_listing_matches_differential_registry():
+    """Every engine the differential harness can drive must be listed.
+
+    ``repro.verify.generators.ENGINES`` is the authoritative roster (it is
+    what cross-engine fuzzing exercises); the runner's listing — which feeds
+    ``python -m repro --help`` — must name exactly the same engines, split
+    into snapshot vs stateful kinds.
+    """
+    from repro.verify.generators import ENGINES
+
+    listing = list_engines()
+    assert set(listing) == set(ENGINES)
+    assert set(snapshot_engine_names()) == {
+        name for name, kind in listing.items() if kind == "snapshot"
+    }
+    assert {name for name, kind in listing.items() if kind == "stateful"} == {
+        "adaptive",
+        "incremental",
+    }
+
+
+def test_snapshot_engines_all_constructible():
+    # Display names may decorate the registry name (sens-join[des]), so
+    # only require that every listed snapshot engine actually constructs.
+    for name in snapshot_engine_names():
+        algorithm = make_algorithm(name)
+        assert callable(algorithm.execute)
+        assert algorithm.name
+
+
+def test_stateful_engine_names_raise_targeted_error():
+    for name in ("adaptive", "incremental"):
+        with pytest.raises(ValueError, match="stateful continuous executor"):
+            make_algorithm(name)
+        with pytest.raises(ValueError, match="run_round"):
+            make_algorithm(name)
 
 
 def test_run_snapshot_resets_accounting(small_network, small_world, tail_query):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.routing.dissemination import QUERY_DISSEMINATION_PHASE, flood_query
+from repro.routing.dissemination import (
+    PIGGYBACK_HEADER_BYTES,
+    QUERY_DISSEMINATION_PHASE,
+    flood_batch,
+    flood_query,
+)
 from repro.sim.node import BASE_STATION_ID
 
 
@@ -52,3 +57,49 @@ def test_zero_byte_flood_reaches_no_one(small_network):
     # A zero-byte query transmits nothing, so only the source "hears" it.
     reached = flood_query(small_network, 0)
     assert reached == {BASE_STATION_ID}
+
+
+def test_flood_batch_single_item_equals_flood_query(small_network, make_deployment):
+    """One item means no piggybacking: no header, identical cost."""
+    flood_batch(small_network, [30])
+    batched = small_network.stats.total_tx_packets()
+    batched_energy = small_network.total_energy()
+    reference, _ = make_deployment(node_count=200, seed=11, area_side_m=383.0)
+    flood_query(reference, 30)
+    assert batched == reference.stats.total_tx_packets()
+    assert batched_energy == pytest.approx(reference.total_energy())
+
+
+def test_flood_batch_concatenates_with_headers(small_network, make_deployment):
+    """N items flood once at sum(sizes) + N headers — cheaper than N floods."""
+    sizes = [30, 25, 20]
+    flood_batch(small_network, sizes)
+    batched = small_network.stats.total_tx_packets()
+    reference, _ = make_deployment(node_count=200, seed=11, area_side_m=383.0)
+    for size in sizes:
+        flood_query(reference, size)
+    assert batched < reference.stats.total_tx_packets()
+    # The payload equals one flood of the concatenation.
+    single, _ = make_deployment(node_count=200, seed=11, area_side_m=383.0)
+    flood_query(single, sum(sizes) + PIGGYBACK_HEADER_BYTES * len(sizes))
+    assert batched == single.stats.total_tx_packets()
+
+
+def test_flood_batch_drops_empty_items(small_network):
+    reached = flood_batch(small_network, [0, 0, 30, 0])
+    assert reached == set(small_network.node_ids)
+    # A single surviving item needs no per-filter header.
+    assert small_network.stats.total_tx_packets() == len(small_network.node_ids)
+
+
+def test_flood_batch_all_empty_reaches_no_one(small_network):
+    assert flood_batch(small_network, []) == {BASE_STATION_ID}
+    assert flood_batch(small_network, [0, 0]) == {BASE_STATION_ID}
+    assert small_network.stats.total_tx_packets() == 0
+
+
+def test_flood_batch_validation(small_network):
+    with pytest.raises(ValueError):
+        flood_batch(small_network, [30, -1])
+    with pytest.raises(ValueError):
+        flood_batch(small_network, [30], header_bytes=-1)

@@ -400,6 +400,21 @@ def experiment_specs(node_count: Optional[int] = None) -> Dict[str, ExperimentSp
             for c in (1, 2, 4, 8)
         ],
     )
+    add(
+        "churn",
+        "continuous churn: self-healing trees and broker degradation",
+        "churn_study",
+        [
+            {
+                "churn_rates": [r],
+                "concurrency_levels": [c],
+                "node_count": min(n, 300),
+                "seed": 0,
+            }
+            for r in (0.0, 0.1, 0.2)
+            for c in (1, 8)
+        ],
+    )
     return specs
 
 

@@ -64,5 +64,28 @@ class ExecutionAborted(ReproError):
     """A query execution was aborted (e.g. by unrecovered network failure)."""
 
 
+class BrokerError(ReproError):
+    """A query failed inside the multi-query broker.
+
+    Wraps the engine's exception for one query so the rest of the batch can
+    keep executing; the failed query surfaces a degraded
+    :class:`~repro.service.broker.QueryOutcome` carrying this error instead
+    of aborting the whole ``run()``.
+
+    Attributes
+    ----------
+    query_id:
+        The admitted query the failure belongs to.
+    cause:
+        The underlying exception raised by the engine (also chained as
+        ``__cause__`` when the error is re-raised).
+    """
+
+    def __init__(self, message: str, query_id: str = "", cause: Exception | None = None):
+        super().__init__(message)
+        self.query_id = query_id
+        self.cause = cause
+
+
 class TraceFormatError(ReproError):
     """A JSONL trace export is malformed or has an unsupported schema."""

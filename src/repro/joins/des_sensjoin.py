@@ -50,7 +50,7 @@ from ..codec.setops import intersect_points, union_points
 from ..errors import ExecutionAborted
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..query.evaluate import JoinResult, Row, evaluate_join
-from ..routing.ctp import repair_tree
+from ..routing.ctp import reattach_tree, repair_tree
 from ..routing.tree import RoutingTree
 from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.kernel import Environment, Event, Process
@@ -88,6 +88,14 @@ class RecoveryPolicy:
     :class:`~repro.errors.ExecutionAborted`; ``"partial"`` (the default)
     returns whatever reached the base station, flagged with
     ``details["partial"] = 1.0`` — graceful degradation as a policy.
+
+    ``repair`` selects how the tree heals between attempts:
+    ``"rebuild"`` (default, the historical behaviour) re-converges globally
+    via :func:`~repro.routing.ctp.repair_tree`; ``"reattach"`` heals
+    incrementally via :func:`~repro.routing.ctp.reattach_tree` — detached
+    subtrees graft onto the nearest live parent through a localized beacon
+    exchange whose cost lands in the energy ledger, and nodes that rejoined
+    mid-attempt are adopted into the tree instead of being ignored.
     """
 
     max_retries: int = 3
@@ -95,6 +103,7 @@ class RecoveryPolicy:
     backoff_s: float = 0.5
     backoff_factor: float = 2.0
     on_exhaustion: str = "partial"
+    repair: str = "rebuild"
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -113,6 +122,10 @@ class RecoveryPolicy:
             raise ValueError(
                 f"on_exhaustion must be 'partial' or 'raise', "
                 f"got {self.on_exhaustion!r}"
+            )
+        if self.repair not in ("rebuild", "reattach"):
+            raise ValueError(
+                f"repair must be 'rebuild' or 'reattach', got {self.repair!r}"
             )
 
 
@@ -268,6 +281,7 @@ class DesSensJoin(JoinAlgorithm):
         aborted_tx = 0
         aborted_energy = 0.0
         repairs = 0
+        repair_beacons = 0
         orphaned = 0
         tx_mark = network.stats.total_tx_packets()
         energy_mark = network.total_energy()
@@ -308,16 +322,30 @@ class DesSensJoin(JoinAlgorithm):
                     "tree-repair-and-backoff", node_id=BASE_STATION_ID,
                     protocol=self.name, attempt=attempt,
                 ):
-                    report = repair_tree(network, tree, seed=self.repair_seed)
-                    tree = report.tree
-                    repairs += 1
-                    orphaned = len(report.orphaned)
-                    tracer.emit(
-                        env.now, BASE_STATION_ID, TREE_REPAIR,
-                        attempt=attempt,
-                        reparented=len(report.reparented),
-                        orphaned=len(report.orphaned),
-                    )
+                    if policy.repair == "reattach":
+                        # Incremental self-healing: graft detached subtrees
+                        # (and any nodes that rejoined mid-attempt) onto the
+                        # nearest live parent; the beacon exchange is charged
+                        # to the ledger under the tree-maintenance phase.
+                        heal = reattach_tree(
+                            network, tree, seed=self.repair_seed,
+                            tracer=tracer, time_s=env.now,
+                        )
+                        tree = heal.tree
+                        repairs += 1
+                        repair_beacons += heal.beacons
+                        orphaned = len(heal.orphaned)
+                    else:
+                        report = repair_tree(network, tree, seed=self.repair_seed)
+                        tree = report.tree
+                        repairs += 1
+                        orphaned = len(report.orphaned)
+                        tracer.emit(
+                            env.now, BASE_STATION_ID, TREE_REPAIR,
+                            attempt=attempt,
+                            reparented=len(report.reparented),
+                            orphaned=len(report.orphaned),
+                        )
                     if backoff > 0:
                         env.run(until=env.now + backoff)
                 backoff *= policy.backoff_factor
@@ -336,6 +364,10 @@ class DesSensJoin(JoinAlgorithm):
         details = dict(state.details)
         details["retries"] = float(aborted_attempts)
         details["repairs"] = float(repairs)
+        if policy.repair == "reattach":
+            # Only reported for the incremental strategy so the historical
+            # rebuild path keeps its exact details shape.
+            details["repair_beacons"] = float(repair_beacons)
         details["orphaned_nodes"] = float(orphaned)
         details["partial"] = 0.0 if completed else 1.0
         details["aborted_tx_packets"] = float(aborted_tx)

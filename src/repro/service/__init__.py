@@ -11,7 +11,14 @@ latency percentiles plus network-wide energy amortization.
 See ``docs/service.md`` for the architecture and sharing rules.
 """
 
-from .broker import BrokerConfig, BrokerReport, QueryBroker, QueryOutcome, sharing_signature
+from .broker import (
+    BrokerConfig,
+    BrokerReport,
+    DeadlinePolicy,
+    QueryBroker,
+    QueryOutcome,
+    sharing_signature,
+)
 from .workloads import (
     QueryRequest,
     WorkloadSpec,
@@ -24,6 +31,7 @@ from .workloads import (
 __all__ = [
     "BrokerConfig",
     "BrokerReport",
+    "DeadlinePolicy",
     "QueryBroker",
     "QueryOutcome",
     "sharing_signature",

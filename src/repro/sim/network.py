@@ -311,6 +311,49 @@ class Network:
         self._adjacency.get(a, set()).discard(b)
         self._adjacency.get(b, set()).discard(a)
 
+    def revive_node(self, node_id: int, x: Optional[float] = None, y: Optional[float] = None) -> None:
+        """Bring a departed node back, optionally at a new position (churn).
+
+        The rejoin model of the continuous-churn subsystem: a node that
+        earlier left the network (``fail_node``) powers up again, possibly
+        at a perturbed position, and the unit-disk links are rewired
+        accordingly.  Reviving an alive node only applies the position
+        update (idempotent otherwise).  The node keeps its last sensor
+        readings — it does not re-sample until the next world snapshot.
+        """
+        if node_id == BASE_STATION_ID:
+            raise NetworkError("the base station is mains powered and never departs")
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NetworkError(f"unknown node: {node_id}")
+        moved = False
+        if x is not None:
+            node.x = float(x)
+            moved = True
+        if y is not None:
+            node.y = float(y)
+            moved = True
+        if node.alive and not moved:
+            return
+        node.alive = True
+        self._rebuild_adjacency()
+
+    def move_node(self, node_id: int, x: float, y: float) -> None:
+        """One waypoint mobility step: relocate a node and rewire its links.
+
+        Dead nodes may be moved (their position matters once they rejoin)
+        but only an alive node's move triggers an adjacency rebuild.
+        """
+        if node_id == BASE_STATION_ID:
+            raise NetworkError("the base station does not move")
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NetworkError(f"unknown node: {node_id}")
+        node.x = float(x)
+        node.y = float(y)
+        if node.alive:
+            self._rebuild_adjacency()
+
     def restore_link(self, a: int, b: int) -> None:
         """Bring a previously failed link back up (if still within range).
 

@@ -30,6 +30,7 @@ PHASE_LABELS = (
     "filter-dissemination",
     "final-result",
     "external-collection",
+    "tree-maintenance",
 )
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "FAULT_INJECT",
     "PHASE_TIMEOUT",
     "TREE_REPAIR",
+    "TREE_REATTACH",
     "LINK_DEAD",
     "LINK_RETX",
     "TREECUT_EXIT",
@@ -47,6 +48,10 @@ __all__ = [
     "BROKER_ADMIT",
     "BROKER_BATCH",
     "BROKER_COMPLETE",
+    "BROKER_RETRY",
+    "BROKER_GROUP_SPLIT",
+    "BROKER_SHED",
+    "BROKER_DEGRADED",
     "FILTER_COMPOSED",
     "FILTER_PIGGYBACK",
 ]
@@ -58,6 +63,9 @@ FAULT_INJECT = "fault-inject"
 PHASE_TIMEOUT = "phase-timeout"
 #: The routing tree re-converged over the surviving topology.
 TREE_REPAIR = "tree-repair"
+#: A detached subtree re-attached to a live parent via localized beacons
+#: (incremental self-healing instead of a full rebuild).
+TREE_REATTACH = "tree-reattach"
 #: A send failed because the link (or its endpoint) is gone; the ARQ budget
 #: was spent without an ACK.
 LINK_DEAD = "link-dead"
@@ -95,6 +103,18 @@ BROKER_ADMIT = "broker-admit"
 BROKER_BATCH = "broker-batch"
 #: A query's final result was computed; detail carries its latency.
 BROKER_COMPLETE = "broker-complete"
+#: A batch attempt timed out (churn struck mid-epoch or the deadline
+#: expired) and is re-executed after a seeded exponential backoff.
+BROKER_RETRY = "broker-retry"
+#: A share group exhausted its shared retries and was split: members
+#: re-execute independently (the degradation ladder's middle rung).
+BROKER_GROUP_SPLIT = "broker-group-split"
+#: A request was dropped at admission because the backlog exceeded the
+#: configured admission depth (overload shedding).
+BROKER_SHED = "broker-shed"
+#: A query terminated with a degraded outcome (partial recall, deadline
+#: ladder fallback, or an engine error wrapped in a BrokerError).
+BROKER_DEGRADED = "broker-degraded"
 #: Per-query join filters over the same quantized domain were united
 #: into one conservative filter disseminated once for the whole group.
 FILTER_COMPOSED = "filter-composed"
@@ -108,6 +128,7 @@ KNOWN_EVENT_KINDS: set[str] = {
     FAULT_INJECT,
     PHASE_TIMEOUT,
     TREE_REPAIR,
+    TREE_REATTACH,
     LINK_DEAD,
     LINK_RETX,
     TREECUT_EXIT,
@@ -123,6 +144,10 @@ KNOWN_EVENT_KINDS: set[str] = {
     BROKER_ADMIT,
     BROKER_BATCH,
     BROKER_COMPLETE,
+    BROKER_RETRY,
+    BROKER_GROUP_SPLIT,
+    BROKER_SHED,
+    BROKER_DEGRADED,
     FILTER_COMPOSED,
     FILTER_PIGGYBACK,
 }

@@ -27,7 +27,14 @@ from .invariants import INVARIANTS
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    engines = tuple(e.strip() for e in args.engines.split(",")) if args.engines else ENGINES
+    if args.engines:
+        engines = tuple(e.strip() for e in args.engines.split(","))
+    elif args.churn is not None:
+        # Churn is replayed in-flight by the DES engine only; a churn smoke
+        # without an explicit engine list drives just that engine.
+        engines = ("des-sensjoin",)
+    else:
+        engines = ENGINES
     for engine in engines:
         if engine not in ENGINES:
             print(f"unknown engine {engine!r}; known: {', '.join(ENGINES)}", file=sys.stderr)
@@ -40,6 +47,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=artifact_dir,
         shrink_failures=not args.no_shrink,
         progress=print,
+        churn_rate=args.churn,
     )
     print(
         f"\n{report.passed}/{report.trials} trial(s) passed, "
@@ -84,6 +92,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"  node counts: {', '.join(str(n) for n in NODE_LADDER)}")
     print("  relations:   self (sensors x sensors), two (rel_a x rel_b)")
     print("  faults:      node-crash, link-drop, loss-burst (des-sensjoin only)")
+    print("  churn:       seeded departure/rejoin churn rate (des-sensjoin only)")
     return 0
 
 
@@ -105,6 +114,14 @@ def main(argv=None) -> int:
     )
     p_fuzz.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking failing trials"
+    )
+    p_fuzz.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="pin the churn departure fraction of des-sensjoin trials "
+        "(restricts the engine list to des-sensjoin unless --engines is given)",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -59,15 +59,18 @@ def fuzz(
     shrink_failures: bool = True,
     execute: Callable[[TrialSpec], TrialReport] = run_trial,
     progress: Optional[Callable[[str], None]] = None,
+    churn_rate: Optional[float] = None,
 ) -> FuzzReport:
     """Run ``trials`` seeded trials; shrink and save every failure.
 
     ``execute`` is injectable for tests (e.g. to count executions); the
     default runs real trials.  ``progress`` receives one line per trial.
+    ``churn_rate`` pins the churn axis of every ``des-sensjoin`` trial
+    (``None`` leaves it to the planner's random draw).
     """
     say = progress if progress is not None else lambda line: None
     report = FuzzReport(trials=trials, seed=seed, engines=tuple(engines))
-    specs = plan_trials(trials, seed, engines)
+    specs = plan_trials(trials, seed, engines, churn_rate=churn_rate)
     for index, spec in enumerate(specs):
         trial_report = execute(spec)
         if trial_report.passed:

@@ -30,7 +30,7 @@ from ..query.parser import parse_query
 from ..query.query import JoinQuery
 from ..routing.ctp import build_tree
 from ..routing.tree import RoutingTree
-from ..sim.faults import Fault, FaultPlan, LINK_DROP, LOSS_BURST, NODE_CRASH
+from ..sim.faults import ChurnModel, Fault, FaultPlan, LINK_DROP, LOSS_BURST, NODE_CRASH
 from ..sim.network import DeploymentConfig, Network, deploy_grid, deploy_uniform
 
 __all__ = [
@@ -163,6 +163,10 @@ class TrialSpec:
     crash_count: int = 0
     link_drop_count: int = 0
     burst_count: int = 0
+    #: Expected fraction of nodes departing over the fault horizon; expands
+    #: into a :class:`~repro.sim.faults.ChurnModel` plan (departures plus
+    #: rejoins at jittered positions) merged into the trial's fault schedule.
+    churn_rate: float = 0.0
     drift_rate: float = 0.0
     check_determinism: bool = False
 
@@ -182,7 +186,9 @@ class TrialSpec:
             raise ValueError(f"loss_rate must be in [0, 1): {self.loss_rate}")
         if min(self.crash_count, self.link_drop_count, self.burst_count) < 0:
             raise ValueError("fault counts must be non-negative")
-        if self.fault_count and self.engine != "des-sensjoin":
+        if not 0.0 <= self.churn_rate < 1.0:
+            raise ValueError(f"churn_rate must be in [0, 1): {self.churn_rate}")
+        if (self.fault_count or self.churn_rate) and self.engine != "des-sensjoin":
             raise ValueError(
                 f"in-flight faults need the des-sensjoin engine, not {self.engine!r}"
             )
@@ -226,6 +232,8 @@ class TrialSpec:
             parts.append(
                 f"faults={self.crash_count}c/{self.link_drop_count}l/{self.burst_count}b"
             )
+        if self.churn_rate:
+            parts.append(f"churn={self.churn_rate:g}")
         if self.drift_rate:
             parts.append(f"drift={self.drift_rate:g}")
         if self.check_determinism:
@@ -242,13 +250,19 @@ def plan_trials(
     count: int,
     master_seed: int,
     engines: Sequence[str] = ENGINES,
+    churn_rate: Optional[float] = None,
 ) -> List[TrialSpec]:
     """Derive ``count`` specs from one master seed — pure and stable.
 
     Engines cycle round-robin (so small runs still cover all of them);
     every other axis is drawn from a single ``random.Random(master_seed)``
     stream, which makes the full trial list a deterministic function of
-    ``(count, master_seed, engines)``.
+    ``(count, master_seed, engines, churn_rate)``.
+
+    ``churn_rate`` pins the churn axis: ``None`` draws it randomly for
+    ``des-sensjoin`` trials (the only engine that replays in-flight churn);
+    a number forces exactly that rate onto every ``des-sensjoin`` spec —
+    pair it with ``engines=("des-sensjoin",)`` for a churn-only smoke.
     """
     if count < 0:
         raise ValueError(f"negative trial count: {count}")
@@ -267,6 +281,7 @@ def plan_trials(
         threshold = round(rng.uniform(templates[template].lo, templates[template].hi), 3)
         loss_rate = rng.choice((0.0, 0.0, 0.0, 0.1, 0.3))
         crash = drops = bursts = 0
+        churn = 0.0
         if engine == "des-sensjoin":
             profile = rng.choice(("none", "none", "crash", "link", "burst", "mixed"))
             if profile == "crash":
@@ -277,6 +292,11 @@ def plan_trials(
                 bursts = 1
             elif profile == "mixed":
                 crash, drops, bursts = 1, 1, 1
+            churn = (
+                rng.choice((0.0, 0.0, 0.1, 0.2))
+                if churn_rate is None
+                else churn_rate
+            )
         drift = 0.0
         if engine in ("adaptive", "incremental") and relations == "self":
             drift = rng.choice((0.0, 0.001))
@@ -295,6 +315,7 @@ def plan_trials(
                 crash_count=crash,
                 link_drop_count=drops,
                 burst_count=bursts,
+                churn_rate=churn,
                 drift_rate=drift,
                 check_determinism=check_det,
             )
@@ -375,9 +396,12 @@ def generate_fault_plan(spec: TrialSpec, network: Network) -> Optional[FaultPlan
 
     Crash victims and dropped links come from the actual topology, so the
     plan is deterministic given ``(spec, deployment)`` — which the spec
-    itself determines.
+    itself determines.  A non-zero ``churn_rate`` additionally expands a
+    :class:`~repro.sim.faults.ChurnModel` (hazard-rate departures plus
+    rejoins at jittered positions) against the topology and merges its
+    faults into the schedule.
     """
-    if spec.fault_count == 0:
+    if spec.fault_count == 0 and spec.churn_rate == 0.0:
         return None
     rng = random.Random(spec.seed ^ 0x5FA17)
     faults: List[Fault] = []
@@ -417,6 +441,15 @@ def generate_fault_plan(spec: TrialSpec, network: Network) -> Optional[FaultPlan
                 loss_rate=round(rng.uniform(0.2, 0.6), 6),
             )
         )
+    if spec.churn_rate > 0:
+        model = ChurnModel.from_departure_fraction(
+            spec.churn_rate,
+            horizon_s=FAULT_HORIZON_S,
+            seed=spec.seed ^ 0xC4A2,
+            rejoin_delay_s=FAULT_HORIZON_S / 4.0,
+            rejoin_jitter_m=5.0,
+        )
+        faults.extend(model.materialize(network))
     return FaultPlan(tuple(faults))
 
 

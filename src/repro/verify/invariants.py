@@ -11,8 +11,9 @@ The invariants, in catalogue order:
 ``engine-matches-oracle``
     On fault-free runs (any loss rate — the link-layer ARQ makes delivery
     exact) every engine's result set-equals the central lossless oracle.
-    Under injected node crashes or link drops the result must be a *subset*
-    of the oracle and the reported recall must equal the delivered fraction.
+    Under injected node crashes, link drops, or continuous churn the result
+    must be a *subset* of the oracle and the reported recall must equal the
+    delivered fraction.
 ``quantization-conservative``
     Quantization never causes false dismissals: every raw value lies inside
     its cell's decoded bounds, and every oracle match survives the
@@ -67,7 +68,7 @@ _RECALL_TOLERANCE = 1e-9
 
 def check_engine_matches_oracle(execution) -> Optional[str]:
     spec = execution.spec
-    faulted = (spec.crash_count + spec.link_drop_count) > 0
+    faulted = (spec.crash_count + spec.link_drop_count) > 0 or spec.churn_rate > 0
     for obs in execution.rounds:
         result = obs.outcome.result
         oracle = obs.oracle

@@ -142,9 +142,16 @@ def _execute_single_shot(
 ) -> Tuple[List[RoundObservation], object]:
     spec = setup.spec
     if spec.engine == "des-sensjoin":
+        # Churn trials exercise the incremental self-healing path; the
+        # fixed-fault trials keep the historical full-rebuild repair.
+        recovery = (
+            RecoveryPolicy(repair="reattach")
+            if spec.churn_rate > 0
+            else RecoveryPolicy()
+        )
         algorithm = DesSensJoin(
             fault_plan=setup.fault_plan,
-            recovery=RecoveryPolicy(),
+            recovery=recovery,
             repair_seed=spec.seed,
         )
     else:

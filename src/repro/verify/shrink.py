@@ -55,6 +55,8 @@ def _candidates(spec: TrialSpec, invariant: str) -> Iterator[Tuple[str, TrialSpe
             yield "link_drop_count -> 0", replace(spec, link_drop_count=0)
         if spec.burst_count:
             yield "burst_count -> 0", replace(spec, burst_count=0)
+    if spec.churn_rate:
+        yield f"churn_rate {spec.churn_rate} -> 0", replace(spec, churn_rate=0.0)
     if spec.loss_rate:
         yield f"loss_rate {spec.loss_rate} -> 0", replace(spec, loss_rate=0.0)
     if spec.deployment != "grid":

@@ -25,8 +25,11 @@ from repro.joins.sensjoin import SensJoin
 from repro.obs.telemetry import Telemetry
 from repro.query.parser import parse_query
 from repro.routing.ctp import build_tree
+from repro.errors import BrokerError
+from repro.joins.base import JoinAlgorithm
 from repro.service import (
     BrokerConfig,
+    DeadlinePolicy,
     QueryBroker,
     QueryRequest,
     WorkloadSpec,
@@ -40,6 +43,10 @@ from repro.sim.trace import (
     BROKER_ADMIT,
     BROKER_BATCH,
     BROKER_COMPLETE,
+    BROKER_DEGRADED,
+    BROKER_GROUP_SPLIT,
+    BROKER_RETRY,
+    BROKER_SHED,
     FILTER_COMPOSED,
     FILTER_PIGGYBACK,
     KNOWN_EVENT_KINDS,
@@ -451,3 +458,141 @@ def test_filter_override_superset_keeps_des_sensjoin_exact(deployment):
         algorithm=DesSensJoin(filter_override=widen),
     )
     assert widened.result.result_set() == plain.result.result_set()
+
+
+# -- resilience: error isolation, deadlines, shedding ------------------------
+
+
+class _FlakyEngine(JoinAlgorithm):
+    """Delegates to SensJoin but raises on one chosen call (1-based)."""
+
+    name = "flaky"
+
+    def __init__(self, fail_on: int):
+        self._fail_on = fail_on
+        self.calls = 0
+
+    def execute(self, context):
+        self.calls += 1
+        if self.calls == self._fail_on:
+            raise RuntimeError("injected engine fault")
+        return SensJoin().execute(context)
+
+
+def test_engine_fault_does_not_abort_serial_batch(deployment, templates):
+    network, world, tree = deployment
+    requests = _simultaneous(templates)
+    telemetry = Telemetry.capture()
+    broker = QueryBroker(
+        network, world,
+        BrokerConfig(
+            concurrency=len(requests), share_work=False,
+            engine=_FlakyEngine(fail_on=2),
+        ),
+        tree=tree, telemetry=telemetry,
+    )
+    report = broker.run(requests)
+    assert [o.status for o in report.outcomes] == [
+        "completed", "degraded", "completed"
+    ]
+    failed = report.outcomes[1]
+    assert isinstance(failed.error, BrokerError)
+    assert failed.error.query_id == 1
+    assert isinstance(failed.error.cause, RuntimeError)
+    assert failed.result_set() == set()
+    assert failed.recall == 0.0
+    assert BROKER_DEGRADED in telemetry.tracer.kinds()
+    assert telemetry.registry.total("broker_degraded_total") == 1
+    # The healthy queries still match their independent reference runs.
+    for outcome in (report.outcomes[0], report.outcomes[2]):
+        reference = run_snapshot(network, world, outcome.request.query, tree=tree)
+        assert outcome.result_set() == reference.result.result_set()
+
+
+def test_deadline_timeout_retries_then_splits(deployment, templates):
+    """A wall-clock budget no epoch can meet walks the whole ladder."""
+    network, world, tree = deployment
+    requests = _simultaneous([templates[0], templates[1]])
+    telemetry = Telemetry.capture()
+    broker = QueryBroker(
+        network, world,
+        BrokerConfig(
+            concurrency=2,
+            deadline=DeadlinePolicy(timeout_s=1e-6, max_retries=1, seed=3),
+        ),
+        tree=tree, telemetry=telemetry,
+    )
+    report = broker.run(requests)
+    kinds = telemetry.tracer.kinds()
+    assert BROKER_RETRY in kinds
+    assert BROKER_GROUP_SPLIT in kinds
+    assert kinds <= KNOWN_EVENT_KINDS
+    assert telemetry.registry.total("broker_retries_total") == 1
+    assert telemetry.registry.total("broker_group_splits_total") == 1
+    for outcome in report.outcomes:
+        # Two timed-out shared attempts, then one accepted split run; no
+        # churn means the split answers stay exact.
+        assert outcome.attempts == 3
+        assert outcome.status == "completed"
+        assert outcome.recall == 1.0
+        assert outcome.group_size == 1
+
+
+def test_deadline_backoff_is_seeded(deployment, templates):
+    def retry_delays(seed):
+        telemetry = Telemetry.capture()
+        QueryBroker(
+            network, world,
+            BrokerConfig(
+                concurrency=2,
+                deadline=DeadlinePolicy(timeout_s=1e-6, max_retries=2, seed=seed),
+            ),
+            tree=tree, telemetry=telemetry,
+        ).run(_simultaneous([templates[0], templates[1]]))
+        return [
+            e.detail["delay_s"]
+            for e in telemetry.tracer.events
+            if e.kind == BROKER_RETRY
+        ]
+
+    network, world, tree = deployment
+    assert retry_delays(3) == retry_delays(3)
+    assert retry_delays(3) != retry_delays(4)
+
+
+def test_admission_depth_sheds_overflow(deployment, templates):
+    network, world, tree = deployment
+    requests = _simultaneous([templates[0]] * 7)
+    telemetry = Telemetry.capture()
+    broker = QueryBroker(
+        network, world,
+        BrokerConfig(concurrency=2, share_work=False, admission_depth=2),
+        tree=tree, telemetry=telemetry,
+    )
+    report = broker.run(requests)
+    shed = [o for o in report.outcomes if o.status == "shed"]
+    # Batch of 2 admitted, 2 more may wait; the other 3 are shed at once.
+    assert [o.request.query_id for o in shed] == [4, 5, 6]
+    assert report.details["shed"] == 3
+    for outcome in shed:
+        assert outcome.result_set() == set()
+        assert outcome.recall == 0.0
+        assert outcome.energy_share_j == 0.0
+        assert outcome.attempts == 0
+    completed = [o for o in report.outcomes if o.status == "completed"]
+    assert len(completed) == 4
+    assert BROKER_SHED in telemetry.tracer.kinds()
+    assert telemetry.registry.total("broker_shed_total") == 3
+
+
+def test_admission_depth_zero_keeps_batch_only(deployment, templates):
+    network, world, tree = deployment
+    requests = _simultaneous([templates[0]] * 4)
+    broker = QueryBroker(
+        network, world,
+        BrokerConfig(concurrency=2, share_work=False, admission_depth=0),
+        tree=tree,
+    )
+    report = broker.run(requests)
+    assert sum(1 for o in report.outcomes if o.status == "shed") == 2
+    assert sum(1 for o in report.outcomes if o.status == "completed") == 2

@@ -17,6 +17,9 @@ terminal art good enough to *see* the paper's mechanisms at work:
 :func:`render_timeline`
     Node activity over simulated time from ``(time, node_id)`` pairs — the
     view behind ``python -m repro.obs timeline``.
+:func:`render_sparkline`
+    A one-line min/max-scaled trend strip — the view behind
+    ``python -m repro.bench trend`` and the timeline's per-kind lanes.
 
 All renderers rasterise node positions onto a character grid; cells holding
 several nodes show the mean value.
@@ -37,6 +40,7 @@ __all__ = [
     "render_tree_depths",
     "render_histogram",
     "render_timeline",
+    "render_sparkline",
 ]
 
 #: Light-to-dark ramp used for heat maps.
@@ -220,6 +224,36 @@ def render_timeline(
         f"peak {int(peak)} events/cell"
     )
     return "\n".join(lines)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    ramp: str = DEFAULT_RAMP,
+) -> str:
+    """One-line trend strip: each value becomes a ramp character.
+
+    The scale is per-call min..max (a flat sequence renders as the lowest
+    rung), which is exactly what a trajectory view wants — the *shape* of
+    the series, not its absolute magnitude.  Non-finite values render as a
+    space so a gap in the history stays visible.
+    """
+    if not len(values):
+        return "(nothing to plot)"
+    finite = [v for v in values if np.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append(" ")
+        elif span == 0.0:
+            chars.append(ramp[0])
+        else:
+            rung = int((value - lo) / span * (len(ramp) - 1))
+            chars.append(ramp[rung])
+    return "".join(chars)
 
 
 def render_histogram(

@@ -50,8 +50,10 @@ __all__ = [
     "build_suite",
     "cmd_perf",
     "compare_snapshots",
+    "default_results_dir",
     "latest_snapshot",
     "next_snapshot_path",
+    "snapshot_history",
 ]
 
 #: Snapshot payload schema; bump when the layout changes.
@@ -399,6 +401,31 @@ def _numbered_snapshots(results_dir: Path) -> List[Tuple[int, Path]]:
     return sorted(found)
 
 
+def default_results_dir() -> Path:
+    """Where committed ``BENCH_<n>.json`` snapshots live.
+
+    ``DEFAULT_RESULTS_DIR`` is cwd-relative, which silently resolves to an
+    *empty* directory when a CLI runs from anywhere but the repo root — a
+    perf trajectory that "has no history" while ``benchmarks/results/`` is
+    right there in the tree.  Prefer the cwd-relative directory when it
+    actually holds snapshots (or the repo-anchored one does not exist),
+    otherwise fall back to the directory next to this source tree.
+    """
+    local = DEFAULT_RESULTS_DIR
+    if _numbered_snapshots(local):
+        return local
+    anchored = Path(__file__).resolve().parents[3] / DEFAULT_RESULTS_DIR
+    if _numbered_snapshots(anchored):
+        return anchored
+    return local
+
+
+def snapshot_history(results_dir: Optional[Path] = None) -> List[Path]:
+    """Every ``BENCH_<n>.json`` in ascending snapshot order."""
+    base = Path(results_dir) if results_dir is not None else default_results_dir()
+    return [path for _, path in _numbered_snapshots(base)]
+
+
 def latest_snapshot(results_dir: Path) -> Optional[Path]:
     """The highest-numbered ``BENCH_<n>.json``, or None."""
     numbered = _numbered_snapshots(Path(results_dir))
@@ -518,7 +545,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         raise ValueError(f"--repeats must be >= 1: {args.repeats}")
     if not (0.0 < args.threshold):
         raise ValueError(f"--threshold must be positive: {args.threshold}")
-    results_dir = Path(args.results_dir) if args.results_dir else DEFAULT_RESULTS_DIR
+    results_dir = Path(args.results_dir) if args.results_dir else default_results_dir()
     # Micros are cheap, so quick mode keeps the full best-of-7 (anything
     # lower is too noisy for a 25% gate on shared CI runners); it only
     # drops the expensive end-to-end repeats.

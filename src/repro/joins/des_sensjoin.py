@@ -49,6 +49,7 @@ from ..codec.quadtree import FlaggedPoint
 from ..codec.setops import intersect_points, union_points
 from ..errors import ExecutionAborted
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from ..obs.timeseries import MetricsSampler
 from ..query.evaluate import JoinResult, Row, evaluate_join
 from ..routing.ctp import reattach_tree, repair_tree
 from ..routing.tree import RoutingTree
@@ -181,9 +182,14 @@ class DesSensJoin(JoinAlgorithm):
         filter_override: Optional[
             Callable[[TupleFormat, FrozenSet[FlaggedPoint]], FrozenSet[FlaggedPoint]]
         ] = None,
+        sampler: Optional[MetricsSampler] = None,
     ):
         self.fault_plan = fault_plan
         self.recovery = recovery
+        #: Optional time-series sampler; attached to the kernel as a periodic
+        #: process at :meth:`execute` so registered probes snapshot gauges
+        #: every ``period_s`` of *simulated* time (docs/observability.md).
+        self.sampler = sampler
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if tracer is not None:
             self.tracer = tracer
@@ -215,6 +221,11 @@ class DesSensJoin(JoinAlgorithm):
         network, tree = context.network, context.tree
         fmt = context.tuple_format()
         env = Environment()
+        if self.sampler is not None:
+            # A perpetual periodic process: every env.run below is bounded
+            # (until=...), so the ticker samples while the protocol runs and
+            # simply stops being scheduled once the run target fires.
+            self.sampler.attach(env)
         if self.fault_plan is None or not self.fault_plan:
             tel = self.telemetry.with_clock(lambda: env.now)
             state = self._spawn_attempt(env, network, tree, fmt)
@@ -233,6 +244,8 @@ class DesSensJoin(JoinAlgorithm):
                     env.run(until=state.done_final[BASE_STATION_ID])
             else:
                 env.run(until=state.done_final[BASE_STATION_ID])
+            if self.sampler is not None:
+                self.sampler.flush(env.now)
             return JoinOutcome(
                 algorithm=self.name,
                 result=self._evaluate(context, fmt, state),
@@ -395,6 +408,8 @@ class DesSensJoin(JoinAlgorithm):
                 if not network.nodes[node_id].alive
             )
         )
+        if self.sampler is not None:
+            self.sampler.flush(env.now)
         return JoinOutcome(
             algorithm=self.name,
             result=result,

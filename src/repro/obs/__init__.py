@@ -11,15 +11,25 @@ instead of something recomputed ad hoc from ``TransmissionStats``:
   registry + simulated-time clock) and phase-span context managers.
 - :mod:`repro.obs.export` — versioned JSONL serialisation that round-trips
   back into :class:`~repro.sim.trace.TraceEvent` objects.
+- :mod:`repro.obs.timeseries` — simulated-time sampling: ring-bounded
+  :class:`Series`, rolling :class:`WindowedAggregate` statistics, the
+  :class:`MetricsSampler` and declarative :class:`SloPolicy` monitors.
 - ``python -m repro.obs`` — ``record``/``summary``/``grep``/``timeline``/
-  ``energy-breakdown`` over an exported trace.
+  ``energy-breakdown``/``compare``/``hotspots`` over an exported trace.
 
 Telemetry is off by default everywhere (:data:`NULL_TELEMETRY`); enabling it
 never changes simulation outcomes, only observes them.  See
 ``docs/observability.md``.
 """
 
-from .export import SCHEMA_VERSION, TraceLog, read_jsonl, write_jsonl
+from .export import (
+    SCHEMA_VERSION,
+    SERIES_RECORD_VERSION,
+    SeriesSample,
+    TraceLog,
+    read_jsonl,
+    write_jsonl,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -30,6 +40,13 @@ from .metrics import (
     NullRegistry,
 )
 from .telemetry import NULL_TELEMETRY, Span, Telemetry
+from .timeseries import (
+    DEFAULT_SERIES_CAPACITY,
+    MetricsSampler,
+    Series,
+    SloPolicy,
+    WindowedAggregate,
+)
 
 __all__ = [
     "Counter",
@@ -43,7 +60,14 @@ __all__ = [
     "Span",
     "NULL_TELEMETRY",
     "TraceLog",
+    "SeriesSample",
     "read_jsonl",
     "write_jsonl",
     "SCHEMA_VERSION",
+    "SERIES_RECORD_VERSION",
+    "Series",
+    "WindowedAggregate",
+    "MetricsSampler",
+    "SloPolicy",
+    "DEFAULT_SERIES_CAPACITY",
 ]

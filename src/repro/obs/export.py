@@ -16,9 +16,18 @@ types, discriminated by the ``record`` field (full schema in
     One registry sample: ``{"record": "metric", "metric": kind,
     "name": n, "labels": {...}, "value": v}`` where ``value`` is a scalar
     (counter/gauge) or a ``{count, sum, min, max}`` object (histogram).
+``series``
+    One sampled time series (only present when a
+    :class:`~repro.obs.timeseries.MetricsSampler` ran):
+    ``{"record": "series", "version": 1, "name": n, "labels": {...},
+    "points": [[t, v], ...], "dropped": d}``.  ``version`` is the series
+    record's own layout version (:data:`SERIES_RECORD_VERSION`) — the file
+    schema stays 1, and an export without series is byte-identical to one
+    written before series existed.
 ``end``
     Last line, a trailer with integrity counts:
-    ``{"record": "end", "events": N, "metrics": M, "dropped": D}``.
+    ``{"record": "end", "events": N, "metrics": M, "dropped": D}``
+    (plus ``"series": K`` — only when K > 0, see above).
     ``dropped`` is non-zero when a bounded :class:`~repro.sim.trace.RingTracer`
     overflowed — the export is honest about truncation.
 
@@ -40,9 +49,21 @@ from ..errors import TraceFormatError
 from ..sim.trace import RingTracer, TraceEvent, Tracer
 from .metrics import MetricSample, MetricsRegistry
 
-__all__ = ["SCHEMA_VERSION", "TraceLog", "write_jsonl", "read_jsonl", "jsonify_detail"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SERIES_RECORD_VERSION",
+    "SeriesSample",
+    "TraceLog",
+    "write_jsonl",
+    "read_jsonl",
+    "jsonify_detail",
+]
 
 SCHEMA_VERSION = 1
+
+#: Layout version of the ``series`` record kind (independent of the file
+#: schema: adding series records did not invalidate existing readers).
+SERIES_RECORD_VERSION = 1
 
 
 def jsonify_detail(value: Any) -> Any:
@@ -72,15 +93,51 @@ def _dumps(obj: Any) -> str:
 
 
 @dataclass
+class SeriesSample:
+    """One parsed ``series`` record: a sampled time series.
+
+    Attribute-compatible with :class:`repro.obs.timeseries.Series` as far
+    as :func:`write_jsonl` is concerned, so a read log re-exports
+    byte-identically.
+    """
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    points: list[tuple[float, float]] = field(default_factory=list)
+    #: Points the sampler's ring evicted before export.
+    dropped: int = 0
+
+    @property
+    def last(self) -> Any:
+        """The most recent ``(time, value)`` point, or None."""
+        return self.points[-1] if self.points else None
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self.points]
+
+
+@dataclass
 class TraceLog:
-    """A parsed export: header metadata, events, and metric samples."""
+    """A parsed export: header metadata, events, metric and series samples."""
 
     schema: int = SCHEMA_VERSION
     meta: dict[str, Any] = field(default_factory=dict)
     events: list[TraceEvent] = field(default_factory=list)
     metrics: list[MetricSample] = field(default_factory=list)
+    series: list[SeriesSample] = field(default_factory=list)
     #: Events the producer dropped (RingTracer overflow) before export.
     dropped: int = 0
+
+    def series_named(self, name: str) -> list[SeriesSample]:
+        """Every series record with the given name (any labels)."""
+        return [sample for sample in self.series if sample.name == name]
+
+    def series_dropped(self) -> int:
+        """Total sampler ring evictions across all series records."""
+        return sum(sample.dropped for sample in self.series)
 
     def registry(self) -> MetricsRegistry:
         """Rebuild a :class:`MetricsRegistry` holding the metric samples."""
@@ -108,18 +165,28 @@ def write_jsonl(
     meta: Optional[Mapping[str, Any]] = None,
     dropped: int = 0,
     tracer: Optional[Tracer] = None,
+    series: Iterable[Any] = (),
 ) -> int:
     """Write one telemetry capture as JSONL; returns the line count.
 
     ``tracer`` is a convenience: a recording tracer supplies both the
     events and (for :class:`RingTracer`) the dropped count, overriding the
-    ``events``/``dropped`` arguments.
+    ``events``/``dropped`` arguments.  ``series`` accepts anything with
+    ``name``/``labels``/``points``/``dropped`` attributes —
+    :class:`repro.obs.timeseries.Series`, a sampler's ``all_series()``, or
+    the :class:`SeriesSample` records of a previous read.  Series are
+    written sorted by name then labels, so exports diff cleanly whatever
+    order the sampler created them in; an empty ``series`` leaves the file
+    byte-identical to the pre-series format.
     """
     if tracer is not None:
         events = list(getattr(tracer, "events", ()))
         if isinstance(tracer, RingTracer):
             dropped = tracer.dropped
     samples = registry.samples() if registry is not None else []
+    series_list = sorted(
+        series, key=lambda s: (s.name, _dumps(jsonify_detail(dict(s.labels))))
+    )
 
     def _write(fh: TextIO) -> int:
         lines = 0
@@ -164,17 +231,34 @@ def write_jsonl(
                 + "\n"
             )
         lines += len(samples)
-        fh.write(
-            _dumps(
-                {
-                    "record": "end",
-                    "events": n_events,
-                    "metrics": len(samples),
-                    "dropped": dropped,
-                }
+        for entry in series_list:
+            fh.write(
+                _dumps(
+                    {
+                        "record": "series",
+                        "version": SERIES_RECORD_VERSION,
+                        "name": entry.name,
+                        "labels": jsonify_detail(dict(entry.labels)),
+                        "points": [
+                            [float(t), float(v)] for t, v in entry.points
+                        ],
+                        "dropped": int(entry.dropped),
+                    }
+                )
+                + "\n"
             )
-            + "\n"
-        )
+        lines += len(series_list)
+        trailer: dict[str, Any] = {
+            "record": "end",
+            "events": n_events,
+            "metrics": len(samples),
+            "dropped": dropped,
+        }
+        if series_list:
+            # Only stamped when series exist: a sampler-free export stays
+            # byte-identical to files written before the record kind existed.
+            trailer["series"] = len(series_list)
+        fh.write(_dumps(trailer) + "\n")
         return lines + 1
 
     if isinstance(path_or_file, (str, Path)):
@@ -254,6 +338,28 @@ def _read(fh: TextIO) -> TraceLog:
                     value=_require(obj, "value", line_no),
                 )
             )
+        elif record == "series":
+            version = _require(obj, "version", line_no)
+            if version != SERIES_RECORD_VERSION:
+                raise TraceFormatError(
+                    f"line {line_no}: unsupported series record version "
+                    f"{version!r} (expected {SERIES_RECORD_VERSION})"
+                )
+            points = _require(obj, "points", line_no)
+            if not isinstance(points, list) or not all(
+                isinstance(p, list) and len(p) == 2 for p in points
+            ):
+                raise TraceFormatError(
+                    f"line {line_no}: series points must be [time, value] pairs"
+                )
+            log.series.append(
+                SeriesSample(
+                    name=str(_require(obj, "name", line_no)),
+                    labels=obj.get("labels", {}),
+                    points=[(float(t), float(v)) for t, v in points],
+                    dropped=int(obj.get("dropped", 0)),
+                )
+            )
         elif record == "end":
             trailer = obj
         else:
@@ -269,6 +375,10 @@ def _read(fh: TextIO) -> TraceLog:
     if trailer.get("metrics") != len(log.metrics):
         raise TraceFormatError(
             f"trailer says {trailer.get('metrics')} metrics, read {len(log.metrics)}"
+        )
+    if trailer.get("series", 0) != len(log.series):
+        raise TraceFormatError(
+            f"trailer says {trailer.get('series', 0)} series, read {len(log.series)}"
         )
     log.dropped = int(trailer.get("dropped", 0))
     return log

@@ -67,6 +67,7 @@ from ..joins.filterbuild import build_join_filter, compose_filters
 from ..joins.runner import instrumented, make_algorithm, run_snapshot
 from ..joins.sensjoin import PHASE_FILTER, SensJoin, _NodeState
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from ..obs.timeseries import MetricsSampler, WindowedAggregate
 from ..query.evaluate import JoinResult, Row, evaluate_join
 from ..query.query import JoinQuery
 from ..routing.ctp import build_tree, reattach_tree
@@ -110,6 +111,11 @@ __all__ = [
 
 #: Recall within this of 1.0 counts as complete (float accumulation guard).
 _RECALL_EPSILON = 1e-9
+
+#: Rolling SLO windows span this many sampling periods: wide enough that a
+#: single slow wave does not whipsaw the percentiles, narrow enough that a
+#: sustained regression surfaces within a handful of ticks.
+SLO_WINDOW_PERIODS = 10
 
 
 def sharing_signature(query: JoinQuery) -> Tuple:
@@ -300,6 +306,7 @@ class QueryBroker:
         tree_seed: int = 0,
         telemetry: Optional[Telemetry] = None,
         churn: Optional[Union[ChurnModel, FaultPlan]] = None,
+        sampler: Optional[MetricsSampler] = None,
     ):
         self.network = network
         self.world = world
@@ -308,6 +315,22 @@ class QueryBroker:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.tracer = self.telemetry.tracer
         self.tree_seed = tree_seed
+        #: Optional time-series sampler (docs/observability.md).  The broker
+        #: feeds rolling service-level aggregates (latency percentiles,
+        #: deadline-miss/retry/shed rates, throughput) and ticks the sampler
+        #: as its synchronous clock advances batch to batch; ``None`` (the
+        #: default) leaves every run byte-identical to a sampler-free build.
+        self._sampler = sampler
+        if sampler is not None:
+            window_s = sampler.period_s * SLO_WINDOW_PERIODS
+            self._lat_window = WindowedAggregate(window_s)
+            self._completed_window = WindowedAggregate(window_s)
+            self._retry_window = WindowedAggregate(window_s)
+            self._miss_window = WindowedAggregate(window_s)
+            self._shed_window = WindowedAggregate(window_s)
+            # The tree is re-grafted on heal, so the watch needs a live view.
+            sampler.watch_tree(lambda: self.tree)
+            sampler.add_probe(self._service_probe)
         if isinstance(churn, ChurnModel):
             plan = churn.materialize(network)
         elif churn is not None:
@@ -336,10 +359,54 @@ class QueryBroker:
         self._aborted_energy_j = 0.0
         self._aborted_tx_packets = 0.0
 
+    # -- time-series sampling ------------------------------------------------
+
+    def _service_probe(self, now: float) -> List[Tuple[str, Dict[str, str], float]]:
+        """Rolling SLO aggregates over the last ``SLO_WINDOW_PERIODS`` ticks."""
+        for window in (
+            self._lat_window, self._completed_window, self._retry_window,
+            self._miss_window, self._shed_window,
+        ):
+            window.advance(now)
+        readings: List[Tuple[str, Dict[str, str], float]] = [
+            ("broker_throughput_qps", {}, self._completed_window.rate()),
+            ("broker_retry_rate", {}, self._retry_window.rate()),
+            ("broker_deadline_miss_rate", {}, self._miss_window.rate()),
+            ("broker_shed_rate", {}, self._shed_window.rate()),
+        ]
+        if self._lat_window.count:
+            readings.extend([
+                ("broker_wave_latency_p50_s", {}, self._lat_window.percentile(0.5)),
+                ("broker_wave_latency_p95_s", {}, self._lat_window.percentile(0.95)),
+                ("broker_wave_latency_max_s", {}, self._lat_window.maximum),
+            ])
+        return readings
+
+    def _reset_accounting(self) -> None:
+        """Reset per-epoch ledgers, banking cumulative gauges first.
+
+        Every epoch starts from a clean ledger (energy shares are per-epoch
+        deltas), but the sampler's per-node gauges are cumulative — the watch
+        must fold the current readings into its base offsets before the wipe
+        or the time series would saw-tooth back to zero each batch.
+        """
+        if self._sampler is not None:
+            self._sampler.note_network_reset()
+        self.network.reset_accounting()
+
     # -- admission loop ------------------------------------------------------
 
     def run(self, requests: Sequence[QueryRequest]) -> BrokerReport:
         """Drain the request stream; returns the per-query outcome report."""
+        telemetry = self.telemetry if self.telemetry.enabled else None
+        # Instrument the whole run, not just the serial path: the shared and
+        # resilient epochs (and repair beacons) charge the channel directly,
+        # and their per-node/per-phase counters must land in the registry for
+        # the energy ledger to reconcile (docs/observability.md).
+        with instrumented(self.network, telemetry):
+            return self._run(requests)
+
+    def _run(self, requests: Sequence[QueryRequest]) -> BrokerReport:
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.query_id))
         outcomes: List[QueryOutcome] = []
         reg = self.telemetry.registry
@@ -397,6 +464,8 @@ class QueryBroker:
                     shed = self._shed_outcome(request, start, batch_index)
                     outcomes.append(shed)
                     shed_count += 1
+                    if self._sampler is not None:
+                        self._shed_window.observe(start, 1.0)
                     self.tracer.emit(
                         start, BASE_STATION_ID, BROKER_SHED,
                         query=request.query_id,
@@ -461,6 +530,13 @@ class QueryBroker:
                         outcome.latency_s
                     )
             outcomes.extend(batch_outcomes)
+            if self._sampler is not None:
+                # Windows demand time-ordered observations; batch outcomes
+                # are ordered by query id, so re-sort by completion.
+                for outcome in sorted(batch_outcomes, key=lambda o: o.completed_s):
+                    self._lat_window.observe(outcome.completed_s, outcome.latency_s)
+                    self._completed_window.observe(outcome.completed_s, 1.0)
+                self._sampler.advance_to(clock)
             if reg.enabled:
                 reg.counter("broker_batches_total").inc()
             batch_index += 1
@@ -501,6 +577,10 @@ class QueryBroker:
             details["aborted_energy_j"] = self._aborted_energy_j
             total_energy += self._repair_energy_j + self._aborted_energy_j
             total_tx += self._repair_tx_packets + self._aborted_tx_packets
+        if self._sampler is not None:
+            # One off-grid sample at the makespan so the final state of every
+            # gauge is in the export even when the run ends between ticks.
+            self._sampler.flush(clock)
         return BrokerReport(
             outcomes=outcomes,
             total_energy_j=total_energy,
@@ -589,7 +669,7 @@ class QueryBroker:
         outcome would no longer be comparable to the pre-churn oracle).
         """
         network, tree, world = self.network, self.tree, self.world
-        network.reset_accounting()
+        self._reset_accounting()
         energy_mark = 0.0
         tx_mark = 0.0
 
@@ -859,6 +939,10 @@ class QueryBroker:
                 if attempt == policy.max_retries:
                     break
                 delay = backoff * (1.0 + self._backoff_rng.random() * 0.5)
+                if self._sampler is not None:
+                    self._retry_window.observe(epoch_end, 1.0)
+                    if timed_out:
+                        self._miss_window.observe(epoch_end, 1.0)
                 self.tracer.emit(
                     epoch_end, BASE_STATION_ID, BROKER_RETRY,
                     batch=batch_index, attempt=attempt + 1,
@@ -943,7 +1027,7 @@ class QueryBroker:
         ``(result, response_time_s, energy_j, tx_packets, error)``.
         """
         network = self.network
-        network.reset_accounting()
+        self._reset_accounting()
         telemetry = self.telemetry if self.telemetry.enabled else None
         try:
             algo = make_algorithm(self.config.engine)

@@ -325,6 +325,40 @@ class Environment:
         """An event that fires when every event in ``events`` has fired."""
         return AllOf(self, events)
 
+    def every(
+        self,
+        period: float,
+        callback: Callable[[float], Any],
+        until: Optional[float] = None,
+    ) -> Process:
+        """Invoke ``callback(now)`` every ``period`` time units, as a process.
+
+        The callback fires first at ``now + period`` (never at registration
+        time) and then at every period boundary, in the deterministic
+        insertion-order position the bucketed queue gives it — re-running
+        the same simulation samples the same states.  With ``until`` the process
+        stops after the last tick at or before that time; without it the
+        process ticks for as long as the simulation is driven (pending
+        timeouts past the run horizon are simply never fired, so an
+        unbounded periodic process cannot stall ``run(until=...)``).
+
+        This is the registration point for
+        :class:`repro.obs.timeseries.MetricsSampler` — periodic metric
+        snapshots are ordinary kernel processes, so sampling never perturbs
+        the deterministic event order of the protocol processes themselves.
+        """
+        if period <= 0:
+            raise SimulationError(f"periodic callback needs period > 0: {period!r}")
+
+        def _ticker() -> Generator:
+            while True:
+                yield self.timeout(period)
+                if until is not None and self._now > until:
+                    return
+                callback(self._now)
+
+        return self.process(_ticker())
+
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

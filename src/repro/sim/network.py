@@ -375,6 +375,19 @@ class Network:
         """Network-wide energy spent since the last accounting reset."""
         return sum(node.ledger.total_energy for node in self.nodes.values())
 
+    def energy_by_node(self) -> Dict[int, float]:
+        """Per-node energy spent since the last accounting reset.
+
+        The per-node view behind the time-series sampler's residual-energy
+        gauges and ``python -m repro.obs hotspots`` — the base-station
+        funnel effect (§V) is a statement about *this* distribution, not
+        about the network total.
+        """
+        return {
+            node_id: node.ledger.total_energy
+            for node_id, node in self.nodes.items()
+        }
+
     def reset_accounting(self) -> None:
         """Zero all energy ledgers and swap in a fresh statistics collector.
 

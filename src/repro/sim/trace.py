@@ -54,6 +54,7 @@ __all__ = [
     "BROKER_DEGRADED",
     "FILTER_COMPOSED",
     "FILTER_PIGGYBACK",
+    "SLO_VIOLATION",
 ]
 
 # Well-known event kinds of the fault/recovery subsystem (§IV-F).
@@ -122,6 +123,11 @@ FILTER_COMPOSED = "filter-composed"
 #: (multi-filter piggybacking during dissemination).
 FILTER_PIGGYBACK = "filter-piggyback"
 
+# Time-series observability (emitted by repro.obs.timeseries monitors).
+#: A declarative SloPolicy threshold was breached at a sampling tick;
+#: detail carries the policy name, the observed value and the bound.
+SLO_VIOLATION = "slo-violation"
+
 #: Every registered event kind.  :func:`register_event_kind` extends the set
 #: for downstream protocols; traces must only contain registered kinds.
 KNOWN_EVENT_KINDS: set[str] = {
@@ -150,6 +156,7 @@ KNOWN_EVENT_KINDS: set[str] = {
     BROKER_DEGRADED,
     FILTER_COMPOSED,
     FILTER_PIGGYBACK,
+    SLO_VIOLATION,
 }
 
 

@@ -14,10 +14,13 @@ from repro.bench.perf import (
     SCHEMA,
     build_suite,
     compare_snapshots,
+    default_results_dir,
     latest_snapshot,
     next_snapshot_path,
     snapshot_entries,
+    snapshot_history,
 )
+from repro.bench.perf import DEFAULT_RESULTS_DIR as DEFAULT_RESULTS_DIR_LOCAL
 
 FAST_ONLY = ["kernel.events_depth64"]
 
@@ -237,3 +240,88 @@ class TestCli:
         entry = payload["entries"][0]
         assert entry["reference_ns_per_op"] > 0
         assert entry["speedup"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Snapshot history / trend
+# ---------------------------------------------------------------------------
+
+
+def _write_snapshot(path, score):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": SCHEMA,
+                "entries": [
+                    {"group": "kernel", "name": "k", "score": score, "tracked": True}
+                ],
+            }
+        )
+    )
+
+
+class TestSnapshotHistory:
+    def test_history_is_in_snapshot_order(self, tmp_path):
+        for number in (3, 1, 10):
+            _write_snapshot(tmp_path / f"BENCH_{number}.json", float(number))
+        names = [path.name for path in snapshot_history(tmp_path)]
+        assert names == ["BENCH_1.json", "BENCH_3.json", "BENCH_10.json"]
+
+    def test_default_results_dir_is_cwd_independent(self, tmp_path, monkeypatch):
+        # The committed history must be visible from any working directory
+        # (this is what made the perf trajectory read as empty before):
+        # with no local snapshots, the repo-anchored directory wins.
+        monkeypatch.chdir(tmp_path)
+        resolved = default_results_dir()
+        assert resolved.is_absolute()
+        assert snapshot_history(resolved)
+
+    def test_local_snapshots_win_over_anchored(self, tmp_path, monkeypatch):
+        local = tmp_path / DEFAULT_RESULTS_DIR_LOCAL
+        local.mkdir(parents=True)
+        _write_snapshot(local / "BENCH_1.json", 1.0)
+        monkeypatch.chdir(tmp_path)
+        assert default_results_dir() == DEFAULT_RESULTS_DIR_LOCAL
+
+
+class TestTrendCli:
+    def test_trend_renders_sparklines(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "BENCH_1.json", 10.0)
+        _write_snapshot(tmp_path / "BENCH_2.json", 5.0)
+        assert bench_main(["trend", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory over 2 snapshots" in out
+        assert "kernel.k" in out and "-50.0%" in out
+
+    def test_single_snapshot_is_not_a_trend(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "BENCH_1.json", 10.0)
+        assert bench_main(["trend", "--results-dir", str(tmp_path)]) == 0
+        assert "at least 2" in capsys.readouterr().out
+
+    def test_empty_history_exits_2_only_under_check(self, tmp_path, capsys):
+        assert bench_main(["trend", "--results-dir", str(tmp_path)]) == 0
+        assert bench_main(["trend", "--results-dir", str(tmp_path), "--check"]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_check_fails_on_malformed_snapshot(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "BENCH_1.json", 10.0)
+        (tmp_path / "BENCH_2.json").write_text("{nope")
+        code = bench_main(["trend", "--results-dir", str(tmp_path), "--check"])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_malformed_snapshot_skipped_without_check(self, tmp_path, capsys):
+        _write_snapshot(tmp_path / "BENCH_1.json", 10.0)
+        (tmp_path / "BENCH_2.json").write_text("{nope")
+        _write_snapshot(tmp_path / "BENCH_3.json", 20.0)
+        assert bench_main(["trend", "--results-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping BENCH_2.json" in captured.err
+        assert "+100.0%" in captured.out
+
+    def test_committed_history_passes_check(self, capsys):
+        # The repo ships >= 2 snapshots so `trend` has a real trajectory.
+        assert bench_main(["trend", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot history ok" in out
+        assert "perf trajectory over" in out

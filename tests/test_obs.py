@@ -490,6 +490,357 @@ class TestObsCli:
         assert "RECONCILIATION FAILED" not in out
 
 
+# -- churn + broker reconciliation ------------------------------------------
+
+
+def _tail(threshold: float, select: str = "A.hum, B.hum"):
+    from repro.query.parser import parse_query
+
+    return parse_query(
+        f"SELECT {select} FROM sensors A, sensors B "
+        f"WHERE A.temp - B.temp > {threshold} ONCE"
+    )
+
+
+def _churned_broker_run(make_deployment, requests, concurrency, churn_kwargs):
+    from repro.service.broker import BrokerConfig, DeadlinePolicy, QueryBroker
+    from repro.sim.faults import ChurnModel
+
+    network, world = make_deployment(50, seed=11)
+    telemetry = Telemetry.capture(capacity=32768)
+    broker = QueryBroker(
+        network,
+        world,
+        config=BrokerConfig(
+            concurrency=concurrency,
+            deadline=DeadlinePolicy(timeout_s=90.0),
+            disseminate_queries=True,
+        ),
+        telemetry=telemetry,
+        churn=ChurnModel(**churn_kwargs),
+    )
+    report = broker.run(requests)
+    return network, telemetry, report
+
+
+class TestChurnedBrokerReconcile:
+    """Satellite: repair, aborted-attempt, and piggybacked-dissemination
+    energy all land in the phase counters and reconcile exactly against the
+    channel ledger — the broker instruments its *whole* run, not just the
+    per-batch execution paths."""
+
+    @pytest.fixture(scope="class")
+    def repair_run(self, make_deployment):
+        """A churned run whose crash orphans children (repair beacons flow)
+        and whose first batch mixes two sharing signatures (piggyback)."""
+        from repro.service.workloads import QueryRequest
+
+        queries = [_tail(1.0), _tail(1.6), _tail(1.0, "A.hum, B.hum, A.pres")]
+        requests = [
+            QueryRequest(query_id=i, arrival_s=0.0, template_index=i, query=q)
+            for i, q in enumerate(queries)
+        ] + [
+            QueryRequest(query_id=3, arrival_s=150.0, template_index=0,
+                         query=_tail(1.0)),
+            QueryRequest(query_id=4, arrival_s=150.0, template_index=1,
+                         query=_tail(1.6)),
+        ]
+        return _churned_broker_run(
+            make_deployment, requests, concurrency=3,
+            churn_kwargs=dict(
+                departure_rate=0.002, rejoin_delay_s=60.0,
+                rejoin_jitter_m=5.0, horizon_s=250.0, seed=7,
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def aborted_run(self, make_deployment):
+        """Same deployment, deadline pressure instead: an epoch aborts."""
+        from repro.service.workloads import QueryRequest
+
+        requests = [
+            QueryRequest(query_id=0, arrival_s=0.0, template_index=0,
+                         query=_tail(1.0)),
+            QueryRequest(query_id=1, arrival_s=0.0, template_index=0,
+                         query=_tail(1.0)),
+            QueryRequest(query_id=2, arrival_s=120.0, template_index=0,
+                         query=_tail(1.0)),
+            QueryRequest(query_id=3, arrival_s=120.0, template_index=0,
+                         query=_tail(1.0)),
+        ]
+        return _churned_broker_run(
+            make_deployment, requests, concurrency=2,
+            churn_kwargs=dict(
+                departure_rate=0.002, rejoin_delay_s=60.0,
+                rejoin_jitter_m=5.0, horizon_s=250.0, seed=7,
+            ),
+        )
+
+    def test_repair_energy_reconciles_exactly(self, repair_run):
+        from repro.obs.reconcile import (
+            energy_model_map,
+            phases_in,
+            reconcile_phase_energy,
+            reconciliation_tolerance,
+        )
+
+        network, telemetry, report = repair_run
+        reg = telemetry.registry
+        assert report.details["repairs"] >= 1
+        assert report.details["repair_energy_j"] > 0
+        assert "tree-maintenance" in phases_in(reg)
+        assert reg.total("energy_joules_total", phase="tree-maintenance") == (
+            pytest.approx(report.details["repair_energy_j"])
+        )
+        total, worst, deltas = reconcile_phase_energy(
+            reg, energy_model_map(network.energy_model)
+        )
+        assert worst <= reconciliation_tolerance(total)
+        assert total == pytest.approx(report.total_energy_j)
+
+    def test_piggybacked_dissemination_reconciles(self, repair_run):
+        network, telemetry, report = repair_run
+        reg = telemetry.registry
+        # Two distinct sharing signatures in one batch → the dissemination
+        # wave carries both groups' payloads on shared broadcasts.
+        assert report.details["piggybacked_broadcasts"] > 0
+        assert reg.total("broker_piggybacked_broadcasts_total") == (
+            report.details["piggybacked_broadcasts"]
+        )
+        # The piggybacked wave's traffic is in the ledger too: registry
+        # total equals the report total, which equals the per-node sum.
+        assert reg.total("energy_joules_total") == pytest.approx(
+            report.total_energy_j
+        )
+
+    def test_aborted_attempt_energy_reconciles(self, aborted_run):
+        from repro.obs.reconcile import (
+            energy_model_map,
+            reconcile_phase_energy,
+            reconciliation_tolerance,
+        )
+
+        network, telemetry, report = aborted_run
+        reg = telemetry.registry
+        # A deadline-missed epoch burns real energy; the ledger keeps it.
+        assert report.details["aborted_energy_j"] > 0
+        total, worst, _ = reconcile_phase_energy(
+            reg, energy_model_map(network.energy_model)
+        )
+        assert worst <= reconciliation_tolerance(total)
+        assert total == pytest.approx(report.total_energy_j)
+
+
+# -- compare / hotspots CLIs -------------------------------------------------
+
+
+def _inflate_phase_energy(src, dst, factor: float, phase: str) -> None:
+    """Copy a trace, multiplying one phase's energy counters by ``factor``."""
+    out = []
+    for line in src.read_text().splitlines():
+        obj = json.loads(line)
+        if (
+            obj.get("record") == "metric"
+            and obj.get("name") == "energy_joules_total"
+            and obj.get("labels", {}).get("phase") == phase
+        ):
+            obj["value"] = obj["value"] * factor
+        out.append(json.dumps(obj))
+    dst.write_text("\n".join(out) + "\n")
+
+
+class TestCompareCli:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        from repro.obs.__main__ import main
+
+        path = tmp_path_factory.mktemp("cmp") / "a.jsonl"
+        assert main(
+            ["record", "--nodes", "30", "--seed", "2", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_identical_traces_compare_clean(self, trace_file, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["compare", str(trace_file), str(trace_file)]) == 0
+        assert "no energy regression" in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, trace_file, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        worse = tmp_path / "b.jsonl"
+        _inflate_phase_energy(trace_file, worse, 1.5, PHASE_COLLECTION)
+        assert main(["compare", str(trace_file), str(worse)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "ENERGY REGRESSION" in captured.err
+
+    def test_below_tolerance_inflation_passes(self, trace_file, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        nearly = tmp_path / "b.jsonl"
+        _inflate_phase_energy(trace_file, nearly, 1.01, PHASE_COLLECTION)
+        assert main(["compare", str(trace_file), str(nearly)]) == 0
+        assert "no energy regression" in capsys.readouterr().out
+
+    def test_improvement_is_not_a_regression(self, trace_file, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        better = tmp_path / "b.jsonl"
+        _inflate_phase_energy(trace_file, better, 0.5, PHASE_COLLECTION)
+        assert main(["compare", str(trace_file), str(better)]) == 0
+        assert "no energy regression" in capsys.readouterr().out
+
+
+class TestHotspotsCli:
+    def test_counter_fallback_ranks_nodes(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["record", "--nodes", "30", "--seed", "2", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["hotspots", str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Gini" in out and "max/mean" in out
+
+    def test_no_per_node_data_exits_2(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "empty.jsonl"
+        with open(path, "w") as handle:
+            write_jsonl(handle, events=[TraceEvent(0.0, 1, "tick", {})])
+        assert main(["hotspots", str(path)]) == 2
+        assert "no per-node energy" in capsys.readouterr().err
+
+
+class TestSummaryWarnings:
+    def test_tracer_overflow_warns(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        tracer = RingTracer(capacity=2)
+        for i in range(5):
+            tracer.emit(float(i), i, "tick")
+        path = tmp_path / "overflow.jsonl"
+        with open(path, "w") as handle:
+            write_jsonl(handle, tracer=tracer)
+        assert main(["summary", str(path)]) == 0
+        assert "WARNING: tracer ring overflowed" in capsys.readouterr().out
+
+    def test_sampler_overflow_warns(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+        from repro.obs.timeseries import MetricsSampler
+
+        telemetry = Telemetry.capture()
+        sampler = MetricsSampler(telemetry=telemetry, period_s=1.0, capacity=2)
+        gauge = telemetry.registry.gauge("depth")
+        sampler.watch_counters(["depth"])
+        for tick in range(5):
+            gauge.set(tick)
+            sampler.sample(float(tick))
+        assert sampler.dropped > 0
+        path = tmp_path / "sampled.jsonl"
+        with open(path, "w") as handle:
+            write_jsonl(
+                handle,
+                tracer=telemetry.tracer,
+                registry=telemetry.registry,
+                series=sampler.all_series(),
+            )
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: sampler rings overflowed" in out
+
+
+# -- acceptance: sampled broker run reproduces the energy funnel -------------
+
+
+class TestSampledBrokerFunnel:
+    """A sampled 150-node churned broker run exports series from which
+    ``hotspots`` reproduces the near-base-station energy funnel."""
+
+    @pytest.fixture(scope="class")
+    def funnel_run(self, make_deployment, tmp_path_factory):
+        from repro.obs.timeseries import MetricsSampler
+        from repro.service.broker import BrokerConfig, DeadlinePolicy, QueryBroker
+        from repro.service.workloads import QueryRequest
+        from repro.sim.faults import ChurnModel
+
+        network, world = make_deployment(150, seed=9)
+        telemetry = Telemetry.capture(capacity=65536)
+        sampler = MetricsSampler(telemetry=telemetry, period_s=15.0)
+        sampler.watch_network(network)
+        broker = QueryBroker(
+            network,
+            world,
+            config=BrokerConfig(
+                concurrency=2, deadline=DeadlinePolicy(timeout_s=120.0)
+            ),
+            telemetry=telemetry,
+            churn=ChurnModel(
+                departure_rate=0.0005, rejoin_delay_s=40.0,
+                rejoin_jitter_m=5.0, horizon_s=250.0, seed=3,
+            ),
+            sampler=sampler,
+        )
+        report = broker.run(
+            [
+                QueryRequest(query_id=i, arrival_s=i * 40.0,
+                             template_index=0, query=_tail(1.0))
+                for i in range(4)
+            ]
+        )
+        path = tmp_path_factory.mktemp("funnel") / "series.jsonl"
+        with open(path, "w") as handle:
+            write_jsonl(
+                handle,
+                tracer=telemetry.tracer,
+                registry=telemetry.registry,
+                series=sampler.all_series(),
+            )
+        return broker, sampler, report, path
+
+    def _energy_by_node(self, broker, sampler):
+        in_tree = set(broker.tree.as_parent_map())
+        return {
+            series.labels["node"]: series.last[1]
+            for series in sampler.all_series()
+            if series.name == "node_energy_j"
+            and series.labels.get("node", 0) != 0
+            and series.labels["node"] in in_tree
+        }
+
+    def test_series_export_round_trips(self, funnel_run):
+        broker, sampler, report, path = funnel_run
+        log = read_jsonl(path)
+        assert len(log.series) == len(sampler.all_series())
+        assert sampler.samples_taken >= 2
+
+    def test_top_nodes_sit_near_the_base_station(self, funnel_run):
+        broker, sampler, report, path = funnel_run
+        energy = self._energy_by_node(broker, sampler)
+        depths = {node: broker.tree.depth(node) for node in energy}
+        ranked = sorted(energy, key=lambda node: -energy[node])
+        # The collection funnel: every top-5 energy node is within 3 hops
+        # of the base station, and the top-10 mean depth is well below the
+        # population mean (relays near the root do the heavy lifting).
+        assert all(depths[node] <= 3 for node in ranked[:5])
+        population_mean = sum(depths.values()) / len(depths)
+        top10_mean = sum(depths[node] for node in ranked[:10]) / 10
+        assert top10_mean < population_mean
+
+    def test_hotspots_cli_reads_the_export(self, funnel_run, capsys):
+        from repro.obs.__main__ import main
+
+        broker, sampler, report, path = funnel_run
+        assert main(["hotspots", str(path), "--top", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Gini" in out
+        assert "the collection funnel" in out
+
+
 # -- bench profiling --------------------------------------------------------
 
 

@@ -10,6 +10,9 @@ trajectory.  One run times three layers:
 * **kernel micros** — schedule/drain throughput of the DES event loop at
   several queue depths, plus a same-timestamp burst (the case the
   bucketed queue exists for);
+* **scale micros** — the spatial grid index behind the 10k-100k node
+  deployments (bulk build, 3x3-cell range queries, churn moves) and the
+  full adjacency build against its pinned dense-``numpy`` reference;
 * **end-to-end** — ``sens-join`` and ``des-sensjoin`` snapshot queries at
   three network sizes via the standard scenario builder.
 
@@ -19,8 +22,8 @@ previous snapshot (or ``--baseline``).  Raw ns/op is machine-bound, so
 each entry also carries a **score**: ns/op divided by the ns/op of a
 fixed pure-Python spin loop timed in the same process.  The regression
 gate (``--check``) compares scores, not wall times, and only for the
-*tracked* micro kernels (codec + kernel groups) — end-to-end timings and
-set-operation micros are informational.
+*tracked* micro kernels (codec, kernel and scale groups) — end-to-end
+timings and set-operation micros are informational.
 
 ``--quick`` keeps every workload shape identical and only lowers the
 repeat counts, so a quick CI run gates validly against a committed
@@ -60,7 +63,7 @@ __all__ = [
 SCHEMA = "repro.bench-perf/1"
 
 #: Groups whose entries the regression gate compares (see module docstring).
-TRACKED_GROUPS = ("codec", "kernel")
+TRACKED_GROUPS = ("codec", "kernel", "scale")
 
 #: Default regression gate: fail on >25% score increase of a tracked kernel.
 DEFAULT_THRESHOLD = 0.25
@@ -310,6 +313,72 @@ def _kernel_benches() -> List[Bench]:
     return benches
 
 
+def _scale_benches() -> List[Bench]:
+    from ..sim.network import DeploymentConfig, deploy_uniform
+    from ..sim.spatial import SpatialGridIndex
+
+    benches: List[Bench] = []
+    rng = Random(64)
+    config = DeploymentConfig().scaled(2000)
+    side = config.area_side_m
+    cell = config.radio_range_m
+    limit2 = cell * cell
+    points = [(rng.uniform(0.0, side), rng.uniform(0.0, side)) for _ in range(5000)]
+
+    # Bulk build: the path every deployment constructor takes.
+    def run_build() -> None:
+        index = SpatialGridIndex(cell)
+        insert = index.insert
+        for node_id, (x, y) in enumerate(points):
+            insert(node_id, x, y)
+
+    benches.append(Bench("scale", "grid_build_n5000", len(points), run_build))
+
+    # Range queries over a built index: the adjacency-build inner loop.
+    built = SpatialGridIndex(cell)
+    for node_id, (x, y) in enumerate(points):
+        built.insert(node_id, x, y)
+    queries = points[:2048]
+
+    def run_query() -> None:
+        neighbours = built.neighbours_within
+        for x, y in queries:
+            neighbours(x, y, limit2)
+
+    benches.append(Bench("scale", "grid_query_n5000", len(queries), run_query))
+
+    # Churn moves on a persistent index: fail/revive/move_node's O(1) path.
+    # Repeats re-apply the same ops from wherever the last run left each
+    # node; a move costs the same regardless of origin cell.
+    churning = SpatialGridIndex(cell)
+    for node_id, (x, y) in enumerate(points):
+        churning.insert(node_id, x, y)
+    churn_ops = [
+        (rng.randrange(len(points)), rng.uniform(0.0, side), rng.uniform(0.0, side))
+        for _ in range(8192)
+    ]
+
+    def run_churn() -> None:
+        move = churning.move
+        for node_id, x, y in churn_ops:
+            move(node_id, x, y)
+
+    benches.append(Bench("scale", "grid_churn_n5000", len(churn_ops), run_churn))
+
+    # Whole-network adjacency build vs the pinned dense-numpy reference.
+    network = deploy_uniform(config)
+    benches.append(
+        Bench(
+            "scale",
+            "adjacency_build_n2000",
+            1,
+            network._rebuild_adjacency,
+            network._reference_adjacency,
+        )
+    )
+    return benches
+
+
 def _e2e_benches() -> List[Bench]:
     from ..joins.runner import run_snapshot
     from .workloads import build_scenario, ratio_query_builder
@@ -344,7 +413,7 @@ def build_suite(only: Optional[Sequence[str]] = None) -> List[Bench]:
     A pattern that matches nothing raises :class:`ValueError` naming the
     available keys (mirroring the experiment harness's selection errors).
     """
-    suite = _codec_benches() + _kernel_benches() + _e2e_benches()
+    suite = _codec_benches() + _kernel_benches() + _scale_benches() + _e2e_benches()
     if not only:
         return suite
     keys = [bench.key for bench in suite]

@@ -66,12 +66,14 @@ class EnergyModel:
         return (before - after) / before
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyLedger:
     """Accumulates energy spent by a single node, split by direction.
 
     Instances are cheap value objects; the network keeps one per node and the
-    statistics collector aggregates them at the end of a run.
+    statistics collector aggregates them at the end of a run.  Slotted, like
+    :class:`~repro.sim.node.SensorNode`: there is one ledger per node, so its
+    footprint is part of the per-node byte budget at 100k-node scale.
     """
 
     tx_energy: float = 0.0

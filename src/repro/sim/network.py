@@ -33,6 +33,7 @@ from ..errors import NetworkError
 from .energy import EnergyLedger, EnergyModel
 from .node import BASE_STATION_ID, SensorNode
 from .radio import ArqConfig, Channel, PacketFormat
+from .spatial import SpatialGridIndex
 from .stats import TransmissionStats
 
 __all__ = [
@@ -102,6 +103,10 @@ class DeploymentConfig:
     #: Worst-link packet-loss probability (see :class:`LinkQuality`).  Zero
     #: keeps the whole loss/ARQ layer switched off.
     loss_rate: float = 0.0
+    #: Routing-tree construction mode: ``"flat"`` = plain min-hop CTP tree,
+    #: ``"cluster"`` = grid-cell cluster heads aggregating into the CTP
+    #: backbone (see :mod:`repro.routing.cluster`).
+    routing: str = "flat"
 
     def __post_init__(self) -> None:
         if self.node_count < 2:
@@ -110,6 +115,8 @@ class DeploymentConfig:
             raise ValueError("area side and radio range must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.routing not in ("flat", "cluster"):
+            raise ValueError(f"unknown routing mode: {self.routing!r}")
 
     def scaled(self, node_count: int) -> "DeploymentConfig":
         """Same density, different node count (the Fig. 14 sweep).
@@ -126,6 +133,7 @@ class DeploymentConfig:
             seed=self.seed,
             base_station_position=None,
             loss_rate=self.loss_rate,
+            routing=self.routing,
         )
 
 
@@ -174,20 +182,60 @@ class Network:
         )
         self._adjacency: Dict[int, set[int]] = {}
         self._failed_links: set[frozenset[int]] = set()
+        # Squared-range threshold, computed once with the same expression the
+        # dense reference build used (bit-for-bit float parity matters: the
+        # grid index must be a pure drop-in — see tests/test_sim_spatial.py).
+        self._range2 = self.radio_range_m**2
+        self._index = SpatialGridIndex(radio_range_m)
         self._rebuild_adjacency()
 
     # -- construction -------------------------------------------------------
 
     def _rebuild_adjacency(self) -> None:
-        """Recompute the unit-disk graph over alive nodes, minus failed links."""
+        """Recompute the unit-disk graph over alive nodes, minus failed links.
+
+        Built through the uniform grid index in O(n·k) where k is the local
+        neighbourhood population — the dense O(n²) build survives only as
+        the :meth:`_reference_adjacency` twin for the property suite.  Only
+        deployment-time construction pays this full pass; failure injection
+        and churn go through the incremental :meth:`_attach`/:meth:`_detach`
+        updates instead.
+        """
+        index = SpatialGridIndex(self.radio_range_m)
+        alive = [node for node in self.nodes.values() if node.alive]
+        for node in alive:
+            index.insert(node.node_id, node.x, node.y)
+        self._index = index
+        adjacency: Dict[int, set[int]] = {}
+        failed = self._failed_links
+        limit2 = self._range2
+        for node in alive:
+            neighbours = index.neighbours_within(
+                node.x, node.y, limit2, exclude=node.node_id
+            )
+            if failed:
+                node_id = node.node_id
+                neighbours = [
+                    other
+                    for other in neighbours
+                    if frozenset((node_id, other)) not in failed
+                ]
+            adjacency[node.node_id] = set(neighbours)
+        self._adjacency = adjacency
+
+    def _reference_adjacency(self) -> Dict[int, set[int]]:
+        """Brute-force O(n²) unit-disk build — the reference twin.
+
+        This is the seed implementation's dense pairwise build, kept (like
+        the codec ``_reference_*`` twins) as the trusted oracle the property
+        tests compare the grid index against.  Never called on the hot path.
+        """
         alive = [node for node in self.nodes.values() if node.alive]
         coords = np.array([[node.x, node.y] for node in alive])
         ids = [node.node_id for node in alive]
-        self._adjacency = {node_id: set() for node_id in ids}
+        adjacency: Dict[int, set[int]] = {node_id: set() for node_id in ids}
         if len(alive) < 2:
-            return
-        # Pairwise distances in one vectorised shot; fine up to a few
-        # thousand nodes (the paper's largest network is 2500).
+            return adjacency
         deltas = coords[:, None, :] - coords[None, :, :]
         dist2 = np.einsum("ijk,ijk->ij", deltas, deltas)
         within = dist2 <= self.radio_range_m**2
@@ -196,8 +244,31 @@ class Network:
             a, b = ids[i], ids[j]
             if frozenset((a, b)) in self._failed_links:
                 continue
-            self._adjacency[a].add(b)
-            self._adjacency[b].add(a)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
+
+    # -- incremental maintenance --------------------------------------------
+
+    def _detach(self, node_id: int) -> None:
+        """Remove a node's edges and index entry (it died or is moving)."""
+        for other in self._adjacency.pop(node_id, set()):
+            self._adjacency[other].discard(node_id)
+        self._index.discard(node_id)
+
+    def _attach(self, node: SensorNode) -> None:
+        """Index an alive node at its current position and wire local edges."""
+        self._index.insert(node.node_id, node.x, node.y)
+        node_id = node.node_id
+        neighbours: set[int] = set()
+        for other in self._index.neighbours_within(
+            node.x, node.y, self._range2, exclude=node_id
+        ):
+            if frozenset((node_id, other)) in self._failed_links:
+                continue
+            neighbours.add(other)
+            self._adjacency[other].add(node_id)
+        self._adjacency[node_id] = neighbours
 
     # -- topology queries ----------------------------------------------------
 
@@ -297,7 +368,7 @@ class Network:
         if not node.alive:
             return
         node.alive = False
-        self._rebuild_adjacency()
+        self._detach(node_id)
 
     def fail_link(self, a: int, b: int) -> None:
         """Take down the (bidirectional) link between ``a`` and ``b``."""
@@ -335,8 +406,10 @@ class Network:
             moved = True
         if node.alive and not moved:
             return
+        if node.alive:
+            self._detach(node_id)
         node.alive = True
-        self._rebuild_adjacency()
+        self._attach(node)
 
     def move_node(self, node_id: int, x: float, y: float) -> None:
         """One waypoint mobility step: relocate a node and rewire its links.
@@ -352,7 +425,8 @@ class Network:
         node.x = float(x)
         node.y = float(y)
         if node.alive:
-            self._rebuild_adjacency()
+            self._detach(node_id)
+            self._attach(node)
 
     def restore_link(self, a: int, b: int) -> None:
         """Bring a previously failed link back up (if still within range).
@@ -367,7 +441,14 @@ class Network:
         if a == b:
             raise NetworkError(f"a node has no link to itself: {a}")
         self._failed_links.discard(frozenset((a, b)))
-        self._rebuild_adjacency()
+        node_a, node_b = self.nodes[a], self.nodes[b]
+        if not (node_a.alive and node_b.alive):
+            return
+        dx = node_a.x - node_b.x
+        dy = node_a.y - node_b.y
+        if dx * dx + dy * dy <= self._range2:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
 
     # -- accounting helpers ----------------------------------------------------
 
@@ -387,6 +468,22 @@ class Network:
             node_id: node.ledger.total_energy
             for node_id, node in self.nodes.items()
         }
+
+    def residual_energy_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Array-backed per-node energy view: ``(ids, spent_energy)`` columns.
+
+        The dict view of :meth:`energy_by_node` boxes every value; at 10k-100k
+        nodes the scale studies instead read this flat pair of numpy columns
+        (sorted by node id) to compute load distributions in one shot.
+        """
+        ids = np.fromiter(self.nodes.keys(), dtype=np.int64, count=len(self.nodes))
+        order = np.argsort(ids)
+        energy = np.fromiter(
+            (node.ledger.total_energy for node in self.nodes.values()),
+            dtype=np.float64,
+            count=len(self.nodes),
+        )
+        return ids[order], energy[order]
 
     def reset_accounting(self) -> None:
         """Zero all energy ledgers and swap in a fresh statistics collector.

@@ -22,9 +22,13 @@ __all__ = ["SensorNode", "BASE_STATION_ID"]
 BASE_STATION_ID = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SensorNode:
     """One stationary sensor node.
+
+    Slotted: deployments are sized in the tens of thousands of nodes, and
+    ``__slots__`` removes the per-instance ``__dict__`` (the memory-regression
+    test in ``tests/test_sim_network.py`` pins the per-node byte budget).
 
     Attributes
     ----------

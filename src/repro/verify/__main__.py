@@ -22,7 +22,7 @@ from pathlib import Path
 
 from .artifact import ReproArtifact, replay
 from .fuzz import fuzz
-from .generators import DEPLOYMENTS, ENGINES, NODE_LADDER
+from .generators import DEPLOYMENTS, ENGINES, LARGE_NODE_LADDER, NODE_LADDER
 from .invariants import INVARIANTS
 
 
@@ -48,6 +48,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         progress=print,
         churn_rate=args.churn,
+        routing=args.routing,
+        large=args.large,
     )
     print(
         f"\n{report.passed}/{report.trials} trial(s) passed, "
@@ -90,7 +92,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"  engines:     {', '.join(ENGINES)}")
     print(f"  deployments: {', '.join(DEPLOYMENTS)}")
     print(f"  node counts: {', '.join(str(n) for n in NODE_LADDER)}")
+    print(
+        "  large ladder: "
+        + ", ".join(str(n) for n in LARGE_NODE_LADDER)
+        + " (--large)"
+    )
     print("  relations:   self (sensors x sensors), two (rel_a x rel_b)")
+    print("  routing:     flat (CTP), cluster (grid-cell heads)")
     print("  faults:      node-crash, link-drop, loss-burst (des-sensjoin only)")
     print("  churn:       seeded departure/rejoin churn rate (des-sensjoin only)")
     return 0
@@ -122,6 +130,17 @@ def main(argv=None) -> int:
         metavar="RATE",
         help="pin the churn departure fraction of des-sensjoin trials "
         "(restricts the engine list to des-sensjoin unless --engines is given)",
+    )
+    p_fuzz.add_argument(
+        "--routing",
+        choices=["flat", "cluster"],
+        default=None,
+        help="pin the routing-tree mode (default: ~1 in 4 trials use cluster)",
+    )
+    p_fuzz.add_argument(
+        "--large",
+        action="store_true",
+        help="plan trials on the large-deployment ladder (128..2048 nodes)",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 

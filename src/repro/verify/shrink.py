@@ -45,6 +45,16 @@ def _candidates(spec: TrialSpec, invariant: str) -> Iterator[Tuple[str, TrialSpe
         yield f"node_count {spec.node_count} -> {node_count}", replace(
             spec, node_count=node_count
         )
+    # Bisection towards the bottom of the ladder: a failure found on the
+    # large-deployment axis (up to 2k nodes) walks down in O(log n) steps
+    # instead of crawling the ladder, and lands on counts the ladder never
+    # enumerated.
+    floor = NODE_LADDER[0]
+    mid = (spec.node_count + floor) // 2
+    if floor < mid < spec.node_count and mid not in lower:
+        yield f"node_count bisect {spec.node_count} -> {mid}", replace(
+            spec, node_count=mid
+        )
     if spec.fault_count:
         yield "drop all faults", replace(
             spec, crash_count=0, link_drop_count=0, burst_count=0
@@ -73,6 +83,8 @@ def _candidates(spec: TrialSpec, invariant: str) -> Iterator[Tuple[str, TrialSpe
             template=spec.template - 1,
             threshold=template.default_threshold,
         )
+    if spec.routing != "flat":
+        yield f"routing {spec.routing} -> flat", replace(spec, routing="flat")
     if spec.drift_rate:
         yield "drift_rate -> 0", replace(spec, drift_rate=0.0)
     if spec.check_determinism and invariant != "deterministic-replay":

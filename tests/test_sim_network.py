@@ -273,3 +273,63 @@ def test_reset_accounting_reseeds_arq():
     for _ in range(50):
         network.channel.unicast(node, neighbour, 480, "phase")
     assert network.stats.total_retx_packets() == first
+
+
+# ---------------------------------------------------------------------------
+# Scale regressions: slotted node state and per-node memory ceiling
+# ---------------------------------------------------------------------------
+
+
+def test_sensor_node_and_ledger_are_slotted():
+    """The per-node objects must stay ``__slots__``-backed (no ``__dict__``).
+
+    A stray attribute assignment (or a dataclass edit dropping
+    ``slots=True``) re-grows every node by a dict, which is exactly what
+    caps deployments at a few thousand nodes.  ``sys.getsizeof`` bounds are
+    generous — the point is catching a dict reappearing (+64 bytes or
+    more), not byte-exact layout.
+    """
+    import sys
+
+    node = SensorNode(1, 0.0, 0.0)
+    assert not hasattr(node, "__dict__")
+    assert not hasattr(node.ledger, "__dict__")
+    with pytest.raises(AttributeError):
+        node.stray_attribute = 1
+    assert sys.getsizeof(node) <= 120
+    assert sys.getsizeof(node.ledger) <= 144
+
+
+def test_deployment_memory_per_node_ceiling():
+    """tracemalloc regression gate: a 5k-node deployment stays lean.
+
+    Measured ~4.3 KB/node retained (the adjacency sets dominate at the
+    paper's ~10.5 mean degree); the ceiling has ~40% headroom.  Breaking
+    it means a per-node structure regressed to boxed/dict storage — the
+    dense O(n²) matrix this repo removed would blow past it instantly.
+    """
+    import tracemalloc
+
+    node_count = 5000
+    base = DeploymentConfig().scaled(node_count)
+    config = DeploymentConfig(
+        node_count=base.node_count,
+        area_side_m=base.area_side_m,
+        radio_range_m=base.radio_range_m,
+        seed=0,
+    )
+    tracemalloc.start()
+    try:
+        network = deploy_uniform(config)
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert len(network.sensor_node_ids) == node_count
+    per_node_current = current / node_count
+    per_node_peak = peak / node_count
+    assert per_node_current <= 6000, (
+        f"retained {per_node_current:.0f} B/node (ceiling 6000)"
+    )
+    assert per_node_peak <= 8000, (
+        f"peak {per_node_peak:.0f} B/node (ceiling 8000)"
+    )

@@ -1,0 +1,298 @@
+"""Property suite for the spatial grid index and the adjacency drop-in.
+
+Two layers of pinning:
+
+* unit tests of :class:`repro.sim.spatial.SpatialGridIndex` itself —
+  container protocol, swap-remove bookkeeping, cell handoff on moves,
+  loud rejection of too-wide query radii;
+* property tests that the grid-built adjacency of a live
+  :class:`~repro.sim.network.Network` is **set-identical** to the dense
+  O(n²) reference build (kept as ``Network._reference_adjacency``) across
+  deployment shapes, adversarial geometries (boundary-hugging positions,
+  duplicate positions, ranges straddling cell boundaries) and randomized
+  crash/rejoin/move/link churn.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.network import (
+    DeploymentConfig,
+    deploy_clustered,
+    deploy_grid,
+    deploy_uniform,
+)
+from repro.sim.spatial import SpatialGridIndex, grid_cell
+
+
+# ---------------------------------------------------------------------------
+# SpatialGridIndex unit tests
+# ---------------------------------------------------------------------------
+
+
+def brute_force_within(points, x, y, limit2, exclude=None):
+    return sorted(
+        item
+        for item, (px, py) in points.items()
+        if item != exclude and (x - px) ** 2 + (y - py) ** 2 <= limit2
+    )
+
+
+def test_grid_cell_floors_coordinates():
+    assert grid_cell(0.0, 0.0, 50.0) == (0, 0)
+    assert grid_cell(49.999, 49.999, 50.0) == (0, 0)
+    assert grid_cell(50.0, 0.0, 50.0) == (1, 0)
+    assert grid_cell(-0.001, 0.0, 50.0) == (-1, 0)
+
+
+def test_insert_query_remove_roundtrip():
+    index = SpatialGridIndex(50.0)
+    index.insert(1, 10.0, 10.0)
+    index.insert(2, 30.0, 10.0)
+    index.insert(3, 200.0, 200.0)
+    assert len(index) == 3
+    assert 2 in index and 4 not in index
+    assert sorted(index.neighbours_within(10.0, 10.0, 50.0**2)) == [1, 2]
+    assert index.neighbours_within(10.0, 10.0, 50.0**2, exclude=1) == [2]
+    index.remove(2)
+    assert sorted(index.neighbours_within(10.0, 10.0, 50.0**2)) == [1]
+    assert index.position(3) == (200.0, 200.0)
+
+
+def test_duplicate_insert_rejected():
+    index = SpatialGridIndex(50.0)
+    index.insert(1, 0.0, 0.0)
+    with pytest.raises(ValueError, match="already indexed"):
+        index.insert(1, 5.0, 5.0)
+
+
+def test_nonpositive_cell_size_rejected():
+    with pytest.raises(ValueError, match="positive"):
+        SpatialGridIndex(0.0)
+    with pytest.raises(ValueError, match="positive"):
+        SpatialGridIndex(-3.0)
+
+
+def test_query_radius_beyond_cell_size_rejected():
+    index = SpatialGridIndex(50.0)
+    index.insert(1, 0.0, 0.0)
+    with pytest.raises(ValueError, match="3x3 scan window"):
+        index.neighbours_within(0.0, 0.0, 50.001**2)
+    # The boundary radius itself is fine.
+    assert index.neighbours_within(0.0, 0.0, 50.0**2) == [1]
+
+
+def test_remove_unknown_raises_discard_does_not():
+    index = SpatialGridIndex(50.0)
+    with pytest.raises(KeyError):
+        index.remove(7)
+    index.discard(7)  # no-op
+    index.insert(7, 1.0, 1.0)
+    index.discard(7)
+    assert len(index) == 0 and 7 not in index
+
+
+def test_swap_remove_keeps_columns_dense_and_positions_right():
+    index = SpatialGridIndex(10.0)
+    points = {i: (float(i), float(2 * i)) for i in range(20)}
+    for item, (x, y) in points.items():
+        index.insert(item, x, y)
+    rng = random.Random(5)
+    alive = dict(points)
+    for item in rng.sample(sorted(points), 12):
+        index.remove(item)
+        del alive[item]
+        # Every surviving item must still resolve to its own position
+        # through the recycled slots.
+        for survivor, (x, y) in alive.items():
+            assert index.position(survivor) == (x, y)
+    assert len(index) == len(alive)
+
+
+def test_move_handoff_across_cells():
+    index = SpatialGridIndex(50.0)
+    index.insert(1, 10.0, 10.0)
+    assert index.cell_of(1) == (0, 0)
+    index.move(1, 120.0, 10.0)
+    assert index.cell_of(1) == (2, 0)
+    assert index.position(1) == (120.0, 10.0)
+    # The old cell must be gone entirely (empty cells are deleted).
+    assert dict(index.occupied_cells()) == {(2, 0): frozenset({1})}
+    # Moving within a cell keeps the cell map untouched.
+    index.move(1, 130.0, 20.0)
+    assert dict(index.occupied_cells()) == {(2, 0): frozenset({1})}
+
+
+def test_occupied_cells_sorted_and_complete():
+    index = SpatialGridIndex(50.0)
+    index.insert(1, 10.0, 10.0)
+    index.insert(2, 20.0, 20.0)
+    index.insert(3, 60.0, 10.0)
+    cells = list(index.occupied_cells())
+    assert cells == [((0, 0), frozenset({1, 2})), ((1, 0), frozenset({3}))]
+
+
+def test_randomized_index_matches_brute_force():
+    rng = random.Random(42)
+    cell = 37.0
+    index = SpatialGridIndex(cell)
+    points = {}
+    next_id = 0
+    for step in range(600):
+        op = rng.random()
+        if op < 0.5 or not points:
+            x, y = rng.uniform(-200, 200), rng.uniform(-200, 200)
+            index.insert(next_id, x, y)
+            points[next_id] = (x, y)
+            next_id += 1
+        elif op < 0.7:
+            victim = rng.choice(sorted(points))
+            index.remove(victim)
+            del points[victim]
+        else:
+            mover = rng.choice(sorted(points))
+            x, y = rng.uniform(-200, 200), rng.uniform(-200, 200)
+            index.move(mover, x, y)
+            points[mover] = (x, y)
+        if step % 23 == 0:
+            qx, qy = rng.uniform(-220, 220), rng.uniform(-220, 220)
+            limit2 = rng.uniform(0.0, cell) ** 2
+            assert sorted(index.neighbours_within(qx, qy, limit2)) == (
+                brute_force_within(points, qx, qy, limit2)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Adjacency drop-in: grid build vs the dense reference
+# ---------------------------------------------------------------------------
+
+
+def assert_adjacency_matches_reference(network):
+    """The load-bearing property: grid adjacency == dense O(n²) adjacency."""
+    assert network._adjacency == network._reference_adjacency()
+
+
+def _config(node_count, seed=0, **overrides):
+    base = DeploymentConfig().scaled(node_count)
+    return DeploymentConfig(
+        node_count=base.node_count,
+        area_side_m=overrides.pop("area_side_m", base.area_side_m),
+        radio_range_m=overrides.pop("radio_range_m", base.radio_range_m),
+        seed=seed,
+        **overrides,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_uniform_deployment_adjacency_matches_reference(seed):
+    network = deploy_uniform(_config(150, seed=seed))
+    assert_adjacency_matches_reference(network)
+
+
+def test_grid_deployment_adjacency_matches_reference():
+    # Pitch below range: many pairwise distances sit exactly on rational
+    # multiples of the pitch, probing the <= boundary of the predicate.
+    network = deploy_grid(_config(144))
+    assert_adjacency_matches_reference(network)
+
+
+def test_clustered_deployment_adjacency_matches_reference():
+    network = deploy_clustered(_config(150), cluster_count=4)
+    assert_adjacency_matches_reference(network)
+
+
+def test_boundary_hugging_and_duplicate_positions():
+    """Adversarial geometry: nodes on cell borders and coincident nodes."""
+    from repro.sim.network import Network
+    from repro.sim.node import SensorNode
+
+    r = 50.0
+    nodes = [SensorNode(0, 0.0, 0.0)]
+    coords = []
+    # Points exactly on cell boundaries (multiples of the radio range) and
+    # just either side of them.
+    for k, base in enumerate((0.0, r, 2 * r, 3 * r)):
+        for eps in (-1e-9, 0.0, 1e-9):
+            coords.append((base + eps, base))
+    # Duplicate positions: three nodes stacked on one point, plus a pair
+    # exactly one radio range apart (distance == range must connect).
+    coords += [(25.0, 25.0)] * 3
+    coords += [(100.0, 100.0), (100.0 + r, 100.0)]
+    for i, (x, y) in enumerate(coords, start=1):
+        nodes.append(SensorNode(i, x, y))
+    network = Network(nodes, r)
+    assert_adjacency_matches_reference(network)
+    # The exact-range pair is connected under <=.
+    n_pair = len(coords) - 1
+    assert n_pair in network.neighbours(n_pair + 1)
+
+
+def test_range_straddling_cell_boundaries():
+    """Neighbours in diagonal cells are still found by the 3x3 scan."""
+    from repro.sim.network import Network
+    from repro.sim.node import SensorNode
+
+    r = 50.0
+    # Two nodes in diagonally adjacent cells, closer than the range; and
+    # two in the same relative placement but farther than the range.
+    nodes = [
+        SensorNode(0, 0.0, 0.0),
+        SensorNode(1, 49.0, 49.0),   # cell (0, 0)
+        SensorNode(2, 51.0, 51.0),   # cell (1, 1) — distance ~2.8
+        SensorNode(3, 149.0, 149.0),  # cell (2, 2)
+        SensorNode(4, 151.0, 151.0),  # cell (3, 3) — distance ~2.8
+        SensorNode(5, 199.5, 149.0),  # cell (3, 2) — 50.5 from node 3
+    ]
+    network = Network(nodes, r)
+    assert_adjacency_matches_reference(network)
+    assert 2 in network.neighbours(1)
+    assert 4 in network.neighbours(3)
+    assert 5 not in network.neighbours(3)  # just out of range
+
+
+def test_adjacency_matches_reference_under_randomized_churn():
+    """fail/revive/move/fail_link/restore_link keep the invariant."""
+    network = deploy_uniform(_config(120, seed=3))
+    rng = random.Random(7)
+    side = network.config.area_side_m if hasattr(network, "config") else 500.0
+    ids = [nid for nid in network.node_ids if nid != 0]
+    failed = set()
+    for step in range(300):
+        op = rng.random()
+        nid = rng.choice(ids)
+        if op < 0.25:
+            if len(failed) < len(ids) - 2:
+                network.fail_node(nid)
+                failed.add(nid)
+        elif op < 0.5:
+            if nid in failed:
+                network.revive_node(
+                    nid, x=rng.uniform(0, side), y=rng.uniform(0, side)
+                )
+                failed.discard(nid)
+        elif op < 0.7:
+            if nid not in failed:
+                network.move_node(nid, rng.uniform(0, side), rng.uniform(0, side))
+        elif op < 0.85:
+            other = rng.choice([i for i in ids if i != nid])
+            if nid not in failed and other not in failed:
+                network.fail_link(nid, other)
+        else:
+            other = rng.choice([i for i in ids if i != nid])
+            network.restore_link(nid, other)
+        if step % 29 == 0:
+            assert_adjacency_matches_reference(network)
+    assert_adjacency_matches_reference(network)
+
+
+def test_network_index_tracks_alive_nodes():
+    network = deploy_uniform(_config(60, seed=1))
+    alive = {nid for nid, node in network.nodes.items() if node.alive}
+    assert len(network._index) == len(alive)
+    network.fail_node(5)
+    assert 5 not in network._index
+    network.revive_node(5)
+    assert 5 in network._index
+    assert network._index.position(5) == (network.nodes[5].x, network.nodes[5].y)

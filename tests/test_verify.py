@@ -262,3 +262,109 @@ class TestInvariantCatalogue:
         for invariant in INVARIANTS.values():
             assert invariant.description
         assert list(INVARIANTS)[0] == "engine-matches-oracle"
+
+
+class TestScaleAxes:
+    """The large-deployment ladder and the routing-mode trial axis."""
+
+    def test_routing_derived_from_seed_without_rng_consumption(self):
+        specs = plan_trials(40, 0)
+        for spec in specs:
+            expected = "cluster" if spec.seed % 4 == 0 else "flat"
+            assert spec.routing == expected
+        assert {spec.routing for spec in specs} == {"flat", "cluster"}
+
+    def test_routing_pin_applies_to_every_trial(self):
+        for mode in ("flat", "cluster"):
+            specs = plan_trials(12, 3, routing=mode)
+            assert {spec.routing for spec in specs} == {mode}
+
+    def test_routing_axis_does_not_reshuffle_other_fields(self):
+        """Turning the axis on must not have consumed the rng stream."""
+        derived = plan_trials(15, 7)
+        pinned = plan_trials(15, 7, routing="flat")
+        for a, b in zip(derived, pinned):
+            assert replace(a, routing="flat") == b
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing mode"):
+            TrialSpec(seed=0, engine="sens-join", routing="mesh")
+        with pytest.raises(ValueError, match="unknown routing"):
+            plan_trials(4, 0, routing="mesh")
+
+    def test_large_ladder_swaps_node_counts(self):
+        from repro.verify.generators import LARGE_NODE_LADDER, NODE_LADDER
+
+        small = plan_trials(30, 0)
+        large = plan_trials(30, 0, large=True)
+        assert {s.node_count for s in small} <= set(NODE_LADDER)
+        assert {s.node_count for s in large} <= set(LARGE_NODE_LADDER)
+        assert max(s.node_count for s in large) > max(NODE_LADDER)
+        # The determinism double-run is skipped on the large ladder.
+        assert not any(s.check_determinism for s in large)
+
+    def test_describe_mentions_cluster_routing(self):
+        spec = TrialSpec(seed=0, engine="sens-join", routing="cluster")
+        assert "cluster" in spec.describe()
+        assert "cluster" not in TrialSpec(seed=0, engine="sens-join").describe()
+
+    def test_cluster_trial_passes_invariants(self):
+        spec = TrialSpec(
+            seed=5, engine="sens-join", node_count=24, routing="cluster"
+        )
+        report = run_trial(spec)
+        assert report.passed, report.violations
+
+
+class TestScaleShrinking:
+    def test_shrink_bisects_node_count(self):
+        """A count-threshold failure walks down in O(log n), not ladder steps."""
+
+        def execute(spec):
+            violations = (
+                [Violation("engine-matches-oracle", "boom")]
+                if spec.node_count >= 100
+                else []
+            )
+            return TrialReport(spec=spec, violations=violations)
+
+        original = TrialSpec(seed=1, engine="sens-join", node_count=2048)
+        result = shrink(execute(original), execute=execute)
+        assert result.spec.node_count < 2048
+        assert result.spec.node_count >= 100
+        assert any("bisect" in step for step in result.steps)
+        # Logarithmic convergence: far fewer attempts than a walk from 2k.
+        assert result.attempts <= 30
+
+    def test_shrink_drops_cluster_routing_when_irrelevant(self):
+        def execute(spec):
+            violations = (
+                [Violation("engine-matches-oracle", "boom")] if spec.loss_rate else []
+            )
+            return TrialReport(spec=spec, violations=violations)
+
+        original = TrialSpec(
+            seed=1,
+            engine="sens-join",
+            node_count=48,
+            loss_rate=0.2,
+            routing="cluster",
+        )
+        result = shrink(execute(original), execute=execute)
+        assert result.spec.routing == "flat"
+        assert result.spec.loss_rate == 0.2
+
+    def test_shrink_keeps_cluster_routing_when_load_bearing(self):
+        def execute(spec):
+            violations = (
+                [Violation("engine-matches-oracle", "boom")]
+                if spec.routing == "cluster"
+                else []
+            )
+            return TrialReport(spec=spec, violations=violations)
+
+        original = TrialSpec(
+            seed=1, engine="sens-join", node_count=48, routing="cluster"
+        )
+        result = shrink(execute(original), execute=execute)
+        assert result.spec.routing == "cluster"
